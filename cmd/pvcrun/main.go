@@ -1,0 +1,172 @@
+// Command pvcrun evaluates the paper's running-example queries (Figure 1)
+// or the TPC-H experiment queries on generated data, printing the result
+// pvc-table with annotations, the tractability classification, and the
+// probability of every answer tuple.
+//
+// Usage:
+//
+//	pvcrun -demo shop  -p 0.5          # Figure 1 database, queries Q1/Q2
+//	pvcrun -demo tpch  -sf 0.001       # TPC-H Q1 and Q2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pvcagg"
+	"pvcagg/internal/tpch"
+)
+
+func main() {
+	var (
+		demo = flag.String("demo", "shop", "demo database: shop or tpch")
+		p    = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
+		sf   = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
+	)
+	flag.Parse()
+	switch *demo {
+	case "shop":
+		runShop(*p)
+	case "tpch":
+		runTPCH(*sf)
+	default:
+		fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
+		os.Exit(2)
+	}
+}
+
+func runShop(p float64) {
+	db := shopDB(p)
+	q1 := &pvcagg.Project{
+		Cols: []string{"shop", "price"},
+		Input: &pvcagg.Join{
+			L: &pvcagg.Join{L: &pvcagg.Scan{Table: "S"}, R: &pvcagg.Scan{Table: "PS"}},
+			R: &pvcagg.Union{L: &pvcagg.Scan{Table: "P1"}, R: &pvcagg.Scan{Table: "P2"}},
+		},
+	}
+	q2 := &pvcagg.Project{
+		Cols: []string{"shop"},
+		Input: &pvcagg.Select{
+			Pred: pvcagg.Where(pvcagg.ColTheta("P", pvcagg.LE, pvcagg.IntCell(50))),
+			Input: &pvcagg.GroupAgg{
+				Input:   q1,
+				GroupBy: []string{"shop"},
+				Aggs:    []pvcagg.AggSpec{{Out: "P", Agg: pvcagg.MAX, Over: "price"}},
+			},
+		},
+	}
+	for _, q := range []struct {
+		name string
+		plan pvcagg.Plan
+	}{{"Q1", q1}, {"Q2", q2}} {
+		fmt.Printf("== %s = %s\n", q.name, q.plan)
+		fmt.Printf("   class: %v\n", pvcagg.Classify(q.plan, db))
+		rel, results, timing, err := pvcagg.Run(db, q.plan)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rel)
+		for _, r := range results {
+			fmt.Printf("   P[%v] = %.6g\n", cellsOf(r.Tuple), r.Confidence)
+		}
+		fmt.Printf("   ⟦·⟧ %v, P(·) %v\n\n", timing.Construct, timing.Probability)
+	}
+}
+
+func runTPCH(sf float64) {
+	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
+	if err != nil {
+		fatal(err)
+	}
+	for _, q := range []struct {
+		name string
+		plan pvcagg.Plan
+	}{
+		{"TPC-H Q1", tpch.Q1(1200)},
+		{"TPC-H Q2", tpch.Q2(1, "AFRICA")},
+	} {
+		fmt.Printf("== %s\n", q.name)
+		rel, results, timing, err := pvcagg.Run(db, q.plan)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("   %d answer tuples; ⟦·⟧ %v, P(·) %v\n", rel.Len(), timing.Construct, timing.Probability)
+		for i, r := range results {
+			if i >= 8 {
+				fmt.Printf("   … %d more\n", len(results)-i)
+				break
+			}
+			fmt.Printf("   P[%v] = %.6g", cellsOf(r.Tuple), r.Confidence)
+			if len(r.AggDists) > 0 {
+				fmt.Printf("  E[agg] = %.6g", r.AggDists[0].Expectation())
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func shopDB(p float64) *pvcagg.Database {
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	s := pvcagg.NewRelation("S", pvcagg.Schema{
+		{Name: "sid", Type: pvcagg.TValue},
+		{Name: "shop", Type: pvcagg.TString},
+	})
+	shops := []string{"M&S", "M&S", "M&S", "Gap", "Gap"}
+	for i, shop := range shops {
+		db.Registry.DeclareBool(fmt.Sprintf("x%d", i+1), p)
+		s.MustInsert(pvcagg.MustParseExpr(fmt.Sprintf("x%d", i+1)),
+			pvcagg.IntCell(int64(i+1)), pvcagg.StringCell(shop))
+	}
+	db.Add(s)
+	ps := pvcagg.NewRelation("PS", pvcagg.Schema{
+		{Name: "sid", Type: pvcagg.TValue},
+		{Name: "pid", Type: pvcagg.TValue},
+		{Name: "price", Type: pvcagg.TValue},
+	})
+	for _, row := range [][3]int64{
+		{1, 1, 10}, {1, 2, 50}, {2, 1, 11}, {2, 2, 60}, {3, 3, 15},
+		{3, 4, 40}, {4, 1, 15}, {4, 3, 60}, {5, 1, 10},
+	} {
+		v := fmt.Sprintf("y%d%d", row[0], row[1])
+		db.Registry.DeclareBool(v, p)
+		ps.MustInsert(pvcagg.MustParseExpr(v),
+			pvcagg.IntCell(row[0]), pvcagg.IntCell(row[1]), pvcagg.IntCell(row[2]))
+	}
+	db.Add(ps)
+	p1 := pvcagg.NewRelation("P1", pvcagg.Schema{
+		{Name: "pid", Type: pvcagg.TValue},
+		{Name: "weight", Type: pvcagg.TValue},
+	})
+	for i, row := range [][2]int64{{1, 4}, {2, 8}, {3, 7}, {4, 6}} {
+		v := fmt.Sprintf("z%d", i+1)
+		db.Registry.DeclareBool(v, p)
+		p1.MustInsert(pvcagg.MustParseExpr(v), pvcagg.IntCell(row[0]), pvcagg.IntCell(row[1]))
+	}
+	db.Add(p1)
+	p2 := pvcagg.NewRelation("P2", pvcagg.Schema{
+		{Name: "pid", Type: pvcagg.TValue},
+		{Name: "weight", Type: pvcagg.TValue},
+	})
+	db.Registry.DeclareBool("z5", p)
+	p2.MustInsert(pvcagg.MustParseExpr("z5"), pvcagg.IntCell(1), pvcagg.IntCell(5))
+	db.Add(p2)
+	return db
+}
+
+func cellsOf(t pvcagg.Tuple) string {
+	out := "⟨"
+	for i, c := range t.Cells {
+		if i > 0 {
+			out += ", "
+		}
+		out += c.String()
+	}
+	return out + "⟩"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pvcrun:", err)
+	os.Exit(1)
+}

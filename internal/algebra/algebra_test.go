@@ -1,0 +1,223 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pvcagg/internal/value"
+)
+
+func TestParseAgg(t *testing.T) {
+	for _, a := range []Agg{Sum, Min, Max, Prod, Count} {
+		got, ok := ParseAgg(a.String())
+		if !ok || got != a {
+			t.Errorf("ParseAgg(%q) = %v, %v", a.String(), got, ok)
+		}
+	}
+	if _, ok := ParseAgg("AVG"); ok {
+		t.Errorf("ParseAgg(AVG) should fail: AVG is out of scope (paper Section 2.2)")
+	}
+}
+
+func TestMonoidNeutrals(t *testing.T) {
+	cases := []struct {
+		agg  Agg
+		want value.V
+	}{
+		{Sum, value.Int(0)},
+		{Count, value.Int(0)},
+		{Min, value.PosInf()},
+		{Max, value.NegInf()},
+		{Prod, value.Int(1)},
+	}
+	for _, c := range cases {
+		if got := MonoidFor(c.agg).Neutral(); got != c.want {
+			t.Errorf("%v neutral = %v, want %v", c.agg, got, c.want)
+		}
+	}
+}
+
+func TestMonoidCombine(t *testing.T) {
+	if got := MonoidFor(Sum).Combine(value.Int(2), value.Int(3)); got != value.Int(5) {
+		t.Errorf("SUM combine = %v", got)
+	}
+	if got := MonoidFor(Min).Combine(value.Int(10), value.Int(11)); got != value.Int(10) {
+		t.Errorf("MIN combine = %v", got)
+	}
+	if got := MonoidFor(Max).Combine(value.Int(10), value.Int(11)); got != value.Int(11) {
+		t.Errorf("MAX combine = %v", got)
+	}
+	if got := MonoidFor(Prod).Combine(value.Int(4), value.Int(3)); got != value.Int(12) {
+		t.Errorf("PROD combine = %v", got)
+	}
+}
+
+func TestSelective(t *testing.T) {
+	if !MonoidFor(Min).Selective() || !MonoidFor(Max).Selective() {
+		t.Errorf("MIN/MAX must be selective (Proposition 2)")
+	}
+	if MonoidFor(Sum).Selective() || MonoidFor(Prod).Selective() || MonoidFor(Count).Selective() {
+		t.Errorf("SUM/PROD/COUNT must not be selective")
+	}
+}
+
+// sample values suitable for each monoid's carrier.
+func monoidSamples(a Agg, r *rand.Rand) value.V {
+	switch a {
+	case Min:
+		if r.Intn(8) == 0 {
+			return value.PosInf()
+		}
+	case Max:
+		if r.Intn(8) == 0 {
+			return value.NegInf()
+		}
+	}
+	return value.Int(int64(r.Intn(21)))
+}
+
+func TestMonoidLawsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, agg := range []Agg{Sum, Min, Max, Prod, Count} {
+		m := MonoidFor(agg)
+		for i := 0; i < 500; i++ {
+			a, b, c := monoidSamples(agg, r), monoidSamples(agg, r), monoidSamples(agg, r)
+			if err := CheckMonoidLaws(m, a, b, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSemiringLawsProperty(t *testing.T) {
+	bool3 := func(a, b, c bool) bool {
+		s := SemiringFor(Boolean)
+		return CheckSemiringLaws(s, value.Bool(a), value.Bool(b), value.Bool(c)) == nil
+	}
+	if err := quick.Check(bool3, nil); err != nil {
+		t.Error(err)
+	}
+	nat3 := func(a, b, c uint8) bool {
+		s := SemiringFor(Natural)
+		return CheckSemiringLaws(s, value.Int(int64(a)), value.Int(int64(b)), value.Int(int64(c))) == nil
+	}
+	if err := quick.Check(nat3, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Valid semiring–monoid pairings (paper Section 2.2): B⊗N only for the
+// selective monoids MIN and MAX; N⊗N for every monoid. The Boolean
+// semiring is incompatible with SUM (and PROD) because ⊤ ∨ ⊤ = ⊤ loses
+// multiplicities — the well-known incompatibility of SUM with set
+// semantics noted after Definition 4.
+func TestSemimoduleLawsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	type pair struct {
+		s SemiringKind
+		a Agg
+	}
+	valid := []pair{
+		{Boolean, Min}, {Boolean, Max},
+		{Natural, Sum}, {Natural, Count}, {Natural, Min}, {Natural, Max}, {Natural, Prod},
+	}
+	for _, p := range valid {
+		s := SemiringFor(p.s)
+		m := MonoidFor(p.a)
+		for i := 0; i < 300; i++ {
+			var s1, s2 value.V
+			if p.s == Boolean {
+				s1, s2 = value.Bool(r.Intn(2) == 0), value.Bool(r.Intn(2) == 0)
+			} else {
+				s1, s2 = value.Int(int64(r.Intn(4))), value.Int(int64(r.Intn(4)))
+			}
+			m1, m2 := monoidSamples(p.a, r), monoidSamples(p.a, r)
+			if err := CheckSemimoduleLaws(s, m, s1, s2, m1, m2); err != nil {
+				t.Fatalf("%v over %v: %v", p.a, p.s, err)
+			}
+		}
+	}
+}
+
+func TestBooleanSumNotASemimodule(t *testing.T) {
+	// Documents the incompatibility: (⊤ ∨ ⊤) ⊗ 5 = 5 but ⊤⊗5 + ⊤⊗5 = 10.
+	s := SemiringFor(Boolean)
+	m := MonoidFor(Sum)
+	err := CheckSemimoduleLaws(s, m, value.Bool(true), value.Bool(true), value.Int(5), value.Int(5))
+	if err == nil {
+		t.Fatalf("B⊗N over SUM unexpectedly satisfies the semimodule laws")
+	}
+}
+
+func TestActionExamples(t *testing.T) {
+	n := SemiringFor(Natural)
+	b := SemiringFor(Boolean)
+	// Paper Example 6: 6 ⊗ 5 +min 2 ⊗ 10 = 5 under (N, min, +∞).
+	min := MonoidFor(Min)
+	got := min.Combine(Action(n, min, value.Int(6), value.Int(5)), Action(n, min, value.Int(2), value.Int(10)))
+	if got != value.Int(5) {
+		t.Errorf("Example 6: got %v, want 5", got)
+	}
+	// Paper Example 5/6: SUM over N with z1,z2 ↦ 2, z3,z4 ↦ 0 gives 24 for
+	// z1⊗4 + z2⊗8 + z3⊗7 + z4⊗6.
+	sum := MonoidFor(Sum)
+	vals := []struct{ s, m int64 }{{2, 4}, {2, 8}, {0, 7}, {0, 6}}
+	acc := sum.Neutral()
+	for _, v := range vals {
+		acc = sum.Combine(acc, Action(n, sum, value.Int(v.s), value.Int(v.m)))
+	}
+	if acc != value.Int(24) {
+		t.Errorf("Example 5 SUM: got %v, want 24", acc)
+	}
+	// MIN aggregation with Boolean semiring, z1 ↦ ⊥ and z2,z3,z4 ↦ ⊤ gives 6.
+	accM := min.Neutral()
+	bvals := []struct {
+		s bool
+		m int64
+	}{{false, 4}, {true, 8}, {true, 7}, {true, 6}}
+	for _, v := range bvals {
+		accM = min.Combine(accM, Action(b, min, value.Bool(v.s), value.Int(v.m)))
+	}
+	if accM != value.Int(6) {
+		t.Errorf("Example 5 MIN: got %v, want 6", accM)
+	}
+	// All variables to 0S: answer is 0M, i.e. 0 for SUM and +∞ for MIN.
+	if Action(n, sum, value.Int(0), value.Int(9)) != value.Int(0) {
+		t.Errorf("0 ⊗ m under SUM should be 0")
+	}
+	if Action(n, min, value.Int(0), value.Int(9)) != value.PosInf() {
+		t.Errorf("0 ⊗ m under MIN should be +∞")
+	}
+}
+
+func TestProdAction(t *testing.T) {
+	n := SemiringFor(Natural)
+	p := MonoidFor(Prod)
+	if got := Action(n, p, value.Int(3), value.Int(2)); got != value.Int(8) {
+		t.Errorf("3 ⊗ 2 under PROD = %v, want 8 (2^3)", got)
+	}
+	if got := Action(n, p, value.Int(0), value.Int(2)); got != value.Int(1) {
+		t.Errorf("0 ⊗ 2 under PROD = %v, want 1", got)
+	}
+}
+
+func TestSemiringNormalise(t *testing.T) {
+	b := SemiringFor(Boolean)
+	if b.Normalise(value.Int(7)) != value.Bool(true) {
+		t.Errorf("Boolean normalise of 7 should be ⊤")
+	}
+	if b.Normalise(value.Int(0)) != value.Bool(false) {
+		t.Errorf("Boolean normalise of 0 should be ⊥")
+	}
+	n := SemiringFor(Natural)
+	if n.Normalise(value.Int(7)) != value.Int(7) {
+		t.Errorf("Natural normalise must be identity")
+	}
+}
+
+func TestSemiringKindString(t *testing.T) {
+	if Boolean.String() != "B" || Natural.String() != "N" {
+		t.Errorf("SemiringKind names wrong")
+	}
+}

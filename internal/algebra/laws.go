@@ -1,0 +1,87 @@
+package algebra
+
+import (
+	"fmt"
+
+	"pvcagg/internal/value"
+)
+
+// This file provides executable statements of the algebraic laws from
+// Definitions 2–4. They are used by property-based tests to check that the
+// concrete monoid, semiring and semimodule implementations actually satisfy
+// the axioms the decomposition-tree machinery relies on (Remark 2 of the
+// paper: commutativity and associativity are what make structural
+// decomposition sound).
+
+// CheckMonoidLaws verifies associativity, commutativity and neutrality of
+// the monoid on the given sample values.
+func CheckMonoidLaws(m Monoid, a, b, c value.V) error {
+	if got, want := m.Combine(m.Combine(a, b), c), m.Combine(a, m.Combine(b, c)); got != want {
+		return fmt.Errorf("%v: associativity failed on (%v,%v,%v): %v != %v", m.Agg(), a, b, c, got, want)
+	}
+	if got, want := m.Combine(a, b), m.Combine(b, a); got != want {
+		return fmt.Errorf("%v: commutativity failed on (%v,%v): %v != %v", m.Agg(), a, b, got, want)
+	}
+	if got := m.Combine(m.Neutral(), a); got != a {
+		return fmt.Errorf("%v: left neutrality failed on %v: got %v", m.Agg(), a, got)
+	}
+	if got := m.Combine(a, m.Neutral()); got != a {
+		return fmt.Errorf("%v: right neutrality failed on %v: got %v", m.Agg(), a, got)
+	}
+	return nil
+}
+
+// CheckSemiringLaws verifies the commutative-semiring axioms of
+// Definition 3 on the given sample values (assumed already normalised).
+func CheckSemiringLaws(s Semiring, a, b, c value.V) error {
+	add := func(x, y value.V) value.V { return s.Add(x, y) }
+	mul := func(x, y value.V) value.V { return s.Mul(x, y) }
+	if got, want := add(add(a, b), c), add(a, add(b, c)); got != want {
+		return fmt.Errorf("%v: + associativity failed", s.Kind())
+	}
+	if got, want := mul(mul(a, b), c), mul(a, mul(b, c)); got != want {
+		return fmt.Errorf("%v: · associativity failed", s.Kind())
+	}
+	if add(a, b) != add(b, a) || mul(a, b) != mul(b, a) {
+		return fmt.Errorf("%v: commutativity failed", s.Kind())
+	}
+	if add(s.Zero(), a) != a {
+		return fmt.Errorf("%v: 0 not neutral for +", s.Kind())
+	}
+	if mul(s.One(), a) != a {
+		return fmt.Errorf("%v: 1 not neutral for ·", s.Kind())
+	}
+	if got, want := mul(a, add(b, c)), add(mul(a, b), mul(a, c)); got != want {
+		return fmt.Errorf("%v: distributivity failed on (%v,%v,%v): %v != %v", s.Kind(), a, b, c, got, want)
+	}
+	if mul(s.Zero(), a) != s.Zero() || mul(a, s.Zero()) != s.Zero() {
+		return fmt.Errorf("%v: 0 not absorbing", s.Kind())
+	}
+	return nil
+}
+
+// CheckSemimoduleLaws verifies the S-semimodule axioms of Definition 4 for
+// the action ⊗ on the given sample scalars s1, s2 and monoid values m1, m2.
+func CheckSemimoduleLaws(s Semiring, mo Monoid, s1, s2, m1, m2 value.V) error {
+	act := func(sv, mv value.V) value.V { return Action(s, mo, sv, mv) }
+	plusM := mo.Combine
+	if got, want := act(s1, plusM(m1, m2)), plusM(act(s1, m1), act(s1, m2)); got != want {
+		return fmt.Errorf("s⊗(m1+m2) law failed: %v != %v (s1=%v m1=%v m2=%v)", got, want, s1, m1, m2)
+	}
+	if got, want := act(s.Add(s1, s2), m1), plusM(act(s1, m1), act(s2, m1)); got != want {
+		return fmt.Errorf("(s1+s2)⊗m law failed: %v != %v (s1=%v s2=%v m1=%v)", got, want, s1, s2, m1)
+	}
+	if got, want := act(s.Mul(s1, s2), m1), act(s1, act(s2, m1)); got != want {
+		return fmt.Errorf("(s1·s2)⊗m law failed: %v != %v (s1=%v s2=%v m1=%v)", got, want, s1, s2, m1)
+	}
+	if got := act(s1, mo.Neutral()); got != mo.Neutral() {
+		return fmt.Errorf("s⊗0M law failed: got %v", got)
+	}
+	if got := act(s.Zero(), m1); got != mo.Neutral() {
+		return fmt.Errorf("0S⊗m law failed: got %v", got)
+	}
+	if got := act(s.One(), m1); got != m1 {
+		return fmt.Errorf("1S⊗m law failed: got %v", got)
+	}
+	return nil
+}

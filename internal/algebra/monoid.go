@@ -1,0 +1,117 @@
+// Package algebra implements the algebraic structures of the paper's
+// Section 2.2: commutative aggregation monoids (SUM, MIN, MAX, PROD and
+// COUNT as a special case of SUM), commutative semirings (the Boolean
+// semiring B and the natural numbers N), and the semimodule scalar action
+// ⊗ : S × M → M combining the two.
+package algebra
+
+import "pvcagg/internal/value"
+
+// Agg identifies an aggregation monoid.
+type Agg int
+
+// The aggregation monoids of the paper (COUNT is SUM over unit weights but
+// is kept distinct for query construction and reporting).
+const (
+	Sum Agg = iota
+	Min
+	Max
+	Prod
+	Count
+)
+
+// ParseAgg parses an aggregation name as it appears in queries (case
+// matters: the SQL-ish upper-case spellings are canonical).
+func ParseAgg(s string) (Agg, bool) {
+	switch s {
+	case "SUM", "sum":
+		return Sum, true
+	case "MIN", "min":
+		return Min, true
+	case "MAX", "max":
+		return Max, true
+	case "PROD", "prod":
+		return Prod, true
+	case "COUNT", "count":
+		return Count, true
+	}
+	return 0, false
+}
+
+// String returns the canonical upper-case name.
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Prod:
+		return "PROD"
+	case Count:
+		return "COUNT"
+	default:
+		return "AGG?"
+	}
+}
+
+// Monoid is a commutative monoid (M, +M, 0M) as in Definition 2, used to
+// describe an aggregation operation.
+type Monoid interface {
+	// Neutral returns 0M, the value that does not contribute to the
+	// aggregation (0 for SUM/COUNT, +∞ for MIN, −∞ for MAX, 1 for PROD).
+	Neutral() value.V
+	// Combine returns m1 +M m2.
+	Combine(m1, m2 value.V) value.V
+	// Agg identifies the monoid.
+	Agg() Agg
+	// Selective reports whether m1 +M m2 ∈ {m1, m2} for all inputs (true
+	// for MIN and MAX). Selective monoids admit the linear-size
+	// distribution bound of Proposition 2.
+	Selective() bool
+}
+
+// MonoidFor returns the monoid implementing the given aggregation.
+func MonoidFor(a Agg) Monoid {
+	switch a {
+	case Sum, Count:
+		return sumMonoid{a}
+	case Min:
+		return minMonoid{}
+	case Max:
+		return maxMonoid{}
+	case Prod:
+		return prodMonoid{}
+	default:
+		panic("algebra: unknown Agg " + a.String())
+	}
+}
+
+type sumMonoid struct{ agg Agg }
+
+func (m sumMonoid) Neutral() value.V             { return value.Int(0) }
+func (m sumMonoid) Combine(a, b value.V) value.V { return a.Add(b) }
+func (m sumMonoid) Agg() Agg                     { return m.agg }
+func (sumMonoid) Selective() bool                { return false }
+
+type minMonoid struct{}
+
+func (minMonoid) Neutral() value.V             { return value.PosInf() }
+func (minMonoid) Combine(a, b value.V) value.V { return a.Min(b) }
+func (minMonoid) Agg() Agg                     { return Min }
+func (minMonoid) Selective() bool              { return true }
+
+type maxMonoid struct{}
+
+func (maxMonoid) Neutral() value.V             { return value.NegInf() }
+func (maxMonoid) Combine(a, b value.V) value.V { return a.Max(b) }
+func (maxMonoid) Agg() Agg                     { return Max }
+func (maxMonoid) Selective() bool              { return true }
+
+type prodMonoid struct{}
+
+func (prodMonoid) Neutral() value.V             { return value.Int(1) }
+func (prodMonoid) Combine(a, b value.V) value.V { return a.Mul(b) }
+func (prodMonoid) Agg() Agg                     { return Prod }
+func (prodMonoid) Selective() bool              { return false }

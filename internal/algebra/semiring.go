@@ -1,0 +1,124 @@
+package algebra
+
+import "pvcagg/internal/value"
+
+// SemiringKind identifies a concrete valuation semiring S into which the
+// variables of a generated semiring K are mapped (paper Section 2.2 and
+// Table 1).
+type SemiringKind int
+
+const (
+	// Boolean is the semiring B = ({⊥,⊤}, ∨, ∧), embedded as {0, 1}.
+	// Annotations valued in B give set semantics.
+	Boolean SemiringKind = iota
+	// Natural is the semiring (N, +, ·); annotations valued in N give bag
+	// semantics (tuple multiplicities).
+	Natural
+)
+
+func (k SemiringKind) String() string {
+	switch k {
+	case Boolean:
+		return "B"
+	case Natural:
+		return "N"
+	default:
+		return "S?"
+	}
+}
+
+// Semiring is a commutative semiring (S, +, 0, ·, 1) as in Definition 3.
+type Semiring interface {
+	Zero() value.V
+	One() value.V
+	Add(a, b value.V) value.V
+	Mul(a, b value.V) value.V
+	Kind() SemiringKind
+	// Normalise maps an arbitrary carrier value into the semiring, e.g.
+	// collapsing non-zero integers to ⊤ for the Boolean semiring. Variable
+	// distributions are normalised on entry so that semiring operations
+	// see only canonical elements.
+	Normalise(v value.V) value.V
+}
+
+// SemiringFor returns the semiring of the given kind.
+func SemiringFor(k SemiringKind) Semiring {
+	switch k {
+	case Boolean:
+		return booleanSemiring{}
+	case Natural:
+		return naturalSemiring{}
+	default:
+		panic("algebra: unknown SemiringKind")
+	}
+}
+
+type booleanSemiring struct{}
+
+func (booleanSemiring) Zero() value.V { return value.Bool(false) }
+func (booleanSemiring) One() value.V  { return value.Bool(true) }
+func (booleanSemiring) Add(a, b value.V) value.V {
+	return value.Bool(a.Truth() || b.Truth())
+}
+func (booleanSemiring) Mul(a, b value.V) value.V {
+	return value.Bool(a.Truth() && b.Truth())
+}
+func (booleanSemiring) Kind() SemiringKind { return Boolean }
+func (booleanSemiring) Normalise(v value.V) value.V {
+	return value.Bool(v.Truth())
+}
+
+type naturalSemiring struct{}
+
+func (naturalSemiring) Zero() value.V               { return value.Int(0) }
+func (naturalSemiring) One() value.V                { return value.Int(1) }
+func (naturalSemiring) Add(a, b value.V) value.V    { return a.Add(b) }
+func (naturalSemiring) Mul(a, b value.V) value.V    { return a.Mul(b) }
+func (naturalSemiring) Kind() SemiringKind          { return Natural }
+func (naturalSemiring) Normalise(v value.V) value.V { return v }
+
+// Action computes the semimodule scalar action s ⊗ m of Definition 4 for
+// the S-semimodule over the given monoid: s ⊗ m is "s copies of m combined
+// with +M". Closed forms per monoid:
+//
+//	SUM/COUNT: s ⊗ m = s · m
+//	MIN/MAX:   s ⊗ m = m if s ≠ 0S, else the monoid's neutral element
+//	PROD:      s ⊗ m = m^s (with 0 ⊗ m = 1, the PROD neutral element)
+//
+// For the Boolean semiring s ∈ {⊥,⊤} this degenerates to the conditional
+// value "m if s else 0M" in every monoid, matching paper Example 6.
+func Action(s Semiring, m Monoid, sv, mv value.V) value.V {
+	sv = s.Normalise(sv)
+	switch m.Agg() {
+	case Sum, Count:
+		return sv.Mul(mv)
+	case Min, Max:
+		if sv.IsZero() {
+			return m.Neutral()
+		}
+		return mv
+	case Prod:
+		return powV(mv, sv)
+	default:
+		panic("algebra: unknown monoid in Action")
+	}
+}
+
+// powV computes m^s for a natural exponent s (s ⊗ m in the PROD monoid).
+func powV(m value.V, s value.V) value.V {
+	if s.IsZero() {
+		return value.Int(1)
+	}
+	if !s.IsInt() {
+		panic("algebra: infinite exponent in PROD action")
+	}
+	n := s.Int64()
+	if n < 0 {
+		panic("algebra: negative exponent in PROD action")
+	}
+	out := value.Int(1)
+	for i := int64(0); i < n; i++ {
+		out = out.Mul(m)
+	}
+	return out
+}

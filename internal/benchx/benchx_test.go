@@ -1,0 +1,134 @@
+package benchx
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/gen"
+	"pvcagg/internal/value"
+)
+
+func tinyBase() gen.Params {
+	return gen.Params{
+		L: 8, R: 0, NumVars: 8, NumClauses: 2, NumLiterals: 2,
+		MaxV: 20, AggL: algebra.Min, Theta: value.LE, C: 10,
+	}
+}
+
+func opts() Options { return Options{Runs: 3, MaxNodes: 200000} }
+
+func TestExperimentAShape(t *testing.T) {
+	pts := ExperimentA(tinyBase(), algebra.Min, []value.Theta{value.LE, value.GE}, []int64{0, 10, 20}, opts())
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if p.Runs == 0 {
+			t.Errorf("point %s x=%v has no successful runs", p.Series, p.X)
+		}
+		if !strings.Contains(p.Series, "MIN") {
+			t.Errorf("series = %q", p.Series)
+		}
+	}
+}
+
+func TestExperimentBandC(t *testing.T) {
+	pts := ExperimentB(tinyBase(), []algebra.Agg{algebra.Min, algebra.Count}, []int{4, 8}, opts())
+	if len(pts) != 4 {
+		t.Fatalf("B points = %d", len(pts))
+	}
+	pts = ExperimentC(tinyBase(), []int{4, 8, 16}, opts())
+	if len(pts) != 3 {
+		t.Fatalf("C points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X == 0 {
+			t.Errorf("missing x value")
+		}
+	}
+}
+
+func TestExperimentD(t *testing.T) {
+	pts := ExperimentD(tinyBase(), []algebra.Agg{algebra.Min}, []int{1, 2}, true, opts())
+	if len(pts) != 2 {
+		t.Fatalf("D points = %d", len(pts))
+	}
+	pts = ExperimentD(tinyBase(), []algebra.Agg{algebra.Min}, []int{1, 2}, false, opts())
+	if len(pts) != 2 {
+		t.Fatalf("D points = %d", len(pts))
+	}
+}
+
+func TestExperimentE(t *testing.T) {
+	base := tinyBase()
+	base.R = 4
+	pts := ExperimentE(base, []AggPair{{algebra.Min, algebra.Max}}, []int{4, 8}, true, opts())
+	if len(pts) != 2 {
+		t.Fatalf("E points = %d", len(pts))
+	}
+	if pts[0].Series != "MIN/MAX" {
+		t.Errorf("series = %q", pts[0].Series)
+	}
+}
+
+func TestExperimentF(t *testing.T) {
+	pts, err := ExperimentF([]float64{0.0002}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("F points = %d, want 2 (Q1, Q2)", len(pts))
+	}
+	for _, p := range pts {
+		if p.Q0 <= 0 || p.JK <= 0 || p.P <= 0 {
+			t.Errorf("%s timings not positive: %+v", p.Query, p)
+		}
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var b strings.Builder
+	Print(&b, "Experiment A", []Point{{Series: "MIN/<=", X: 10, Mean: time.Millisecond, Runs: 3}})
+	if !strings.Contains(b.String(), "MIN/<=") {
+		t.Errorf("Print output: %s", b.String())
+	}
+	b.Reset()
+	PrintF(&b, []FPoint{{Query: "Q1", SF: 0.01, Q0: time.Millisecond, JK: time.Millisecond, P: time.Millisecond, Tuples: 4}})
+	if !strings.Contains(b.String(), "Q1") {
+		t.Errorf("PrintF output: %s", b.String())
+	}
+}
+
+func TestMeanStdDropsExtremes(t *testing.T) {
+	times := []time.Duration{time.Hour, time.Millisecond, time.Millisecond, time.Millisecond, time.Nanosecond}
+	mean, _ := meanStd(times)
+	if mean != time.Millisecond {
+		t.Errorf("mean = %v, want 1ms after dropping extremes", mean)
+	}
+}
+
+func TestNodeBudgetCountsFailures(t *testing.T) {
+	// A dense hard instance with a tiny budget must fail, not hang.
+	p := gen.Params{
+		L: 30, R: 0, NumVars: 10, NumClauses: 3, NumLiterals: 3,
+		MaxV: 5, AggL: algebra.Sum, Theta: value.EQ, C: 3,
+	}
+	pt := measure(p, Options{Runs: 2, MaxNodes: 10})
+	if pt.Failed != 2 {
+		t.Errorf("failed = %d, want 2", pt.Failed)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if err := QuickBase().Validate(); err != nil {
+		t.Errorf("QuickBase invalid: %v", err)
+	}
+	if err := PaperBase().Validate(); err != nil {
+		t.Errorf("PaperBase invalid: %v", err)
+	}
+	if PaperBase().L != 200 || PaperBase().NumVars != 25 {
+		t.Errorf("PaperBase must match Section 7.1")
+	}
+}

@@ -1,0 +1,547 @@
+// Package compile implements Algorithm 1 of the paper: compilation of
+// arbitrary semiring and semimodule expressions into decomposition trees.
+// The six decomposition rules are applied in order:
+//
+//  1. constant expressions become leaves;
+//  2. sums split into independent summands (connected components of the
+//     clause-dependency graph), with read-once factoring of common
+//     variables inside a component;
+//  3. products split into independent factor groups;
+//  4. tensors Φ ⊗ α split when scalar and module sides are independent;
+//  5. comparisons [Φ θ Ψ] split when the sides are independent, after the
+//     pruning rules for conditional expressions have been applied;
+//  6. otherwise a variable is eliminated by Shannon (mutex) expansion ⊔x,
+//     choosing by default the variable with most occurrences.
+//
+// Compilation is memoised on the canonical rendering of sub-expressions,
+// so repeated sub-problems (ubiquitous under Shannon expansion) compile
+// once and the resulting d-tree is a DAG.
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/dtree"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/vars"
+)
+
+// VarOrder selects the Shannon-expansion variable-choice heuristic.
+type VarOrder int
+
+const (
+	// MostOccurrences picks the variable occurring most often (the
+	// paper's choice, after [18]). Ties break lexicographically.
+	MostOccurrences VarOrder = iota
+	// LeastOccurrences picks the rarest variable (ablation baseline).
+	LeastOccurrences
+	// Lexicographic picks the alphabetically first variable (ablation).
+	Lexicographic
+)
+
+// Options configure compilation. The zero value enables every technique
+// described in the paper.
+type Options struct {
+	// DisablePruning turns off the conditional-expression pruning rules
+	// and distribution capping (ablation).
+	DisablePruning bool
+	// DisableMemo turns off sub-expression memoisation (ablation).
+	DisableMemo bool
+	// DisableFactoring turns off read-once common-variable factoring
+	// (ablation); sums that do not split then go straight to Shannon.
+	DisableFactoring bool
+	// Order is the Shannon variable-choice heuristic.
+	Order VarOrder
+	// MaxNodes aborts compilation when the d-tree exceeds this many
+	// nodes (0 means no limit). Compilation of hard expressions is
+	// exponential in the worst case (Section 5); the bound turns runaway
+	// compilations into errors.
+	MaxNodes int
+}
+
+// Stats reports how an expression was compiled.
+type Stats struct {
+	SumSplits     int // rule 1 applications (⊕ between independent parts)
+	ProductSplits int // rule 2 applications
+	TensorSplits  int // rule 3 applications
+	CmpSplits     int // rule 4 applications
+	Factorings    int // read-once common-variable factorings
+	Shannon       int // ⊔x expansions
+	PrunedTerms   int // semimodule terms removed by pruning rules
+	CacheHits     int
+	Nodes         int // d-tree nodes created
+}
+
+// Result is a compiled expression: the d-tree root and compile statistics.
+type Result struct {
+	Root  dtree.Node
+	Stats Stats
+}
+
+// Compiler compiles expressions over a fixed semiring and variable
+// registry. It is not safe for concurrent use.
+type Compiler struct {
+	s    algebra.Semiring
+	reg  *vars.Registry
+	opts Options
+	memo map[string]dtree.Node
+	st   Stats
+}
+
+// New returns a Compiler for the given semiring and registry.
+func New(s algebra.Semiring, reg *vars.Registry, opts Options) *Compiler {
+	return &Compiler{s: s, reg: reg, opts: opts, memo: map[string]dtree.Node{}}
+}
+
+// Compile compiles e into a d-tree. The result's distribution (computed by
+// dtree.Evaluate) equals the distribution of e over the registry's
+// probability space (Proposition 4).
+func (c *Compiler) Compile(e expr.Expr) (Result, error) {
+	if err := expr.Validate(e); err != nil {
+		return Result{}, err
+	}
+	if err := c.reg.CheckDeclared(e); err != nil {
+		return Result{}, err
+	}
+	c.st = Stats{}
+	root, err := c.compile(expr.Simplify(e, c.s))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Root: root, Stats: c.st}, nil
+}
+
+func (c *Compiler) newNode(n dtree.Node) (dtree.Node, error) {
+	c.st.Nodes++
+	if c.opts.MaxNodes > 0 && c.st.Nodes > c.opts.MaxNodes {
+		return nil, fmt.Errorf("compile: d-tree exceeds %d nodes", c.opts.MaxNodes)
+	}
+	return n, nil
+}
+
+func (c *Compiler) compile(e expr.Expr) (dtree.Node, error) {
+	// Rule 0: expressions without variables are constant leaves.
+	if !expr.HasVars(e) {
+		v, err := expr.Eval(e, nil, c.s)
+		if err != nil {
+			return nil, err
+		}
+		return c.newNode(&dtree.ConstLeaf{V: v, Module: e.Kind() == expr.KindModule})
+	}
+	if v, ok := e.(expr.Var); ok {
+		return c.newNode(&dtree.VarLeaf{Name: v.Name})
+	}
+	key := ""
+	if !c.opts.DisableMemo {
+		key = expr.String(e)
+		if n, ok := c.memo[key]; ok {
+			c.st.CacheHits++
+			return n, nil
+		}
+	}
+	n, err := c.compileUncached(e)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		c.memo[key] = n
+	}
+	return n, nil
+}
+
+func (c *Compiler) compileUncached(e expr.Expr) (dtree.Node, error) {
+	switch n := e.(type) {
+	case expr.Add:
+		return c.compileSum(n.Terms, false, 0, e)
+	case expr.AggSum:
+		return c.compileSum(n.Terms, true, n.Agg, e)
+	case expr.Mul:
+		return c.compileProduct(n, e)
+	case expr.Tensor:
+		return c.compileTensor(n, e)
+	case expr.Cmp:
+		return c.compileCmp(n)
+	default:
+		return nil, fmt.Errorf("compile: unexpected node %T", e)
+	}
+}
+
+// compileSum handles Add (module=false) and AggSum (module=true): rule 1
+// (independent partition), then factoring, then Shannon.
+func (c *Compiler) compileSum(terms []expr.Expr, module bool, agg algebra.Agg, whole expr.Expr) (dtree.Node, error) {
+	groups := components(terms)
+	if len(groups) > 1 {
+		c.st.SumSplits += len(groups) - 1
+		parts := make([]dtree.Node, len(groups))
+		for i, g := range groups {
+			var ge expr.Expr
+			if module {
+				ge = expr.MSum(agg, g...)
+			} else {
+				ge = expr.Sum(g...)
+			}
+			p, err := c.compile(expr.Simplify(ge, c.s))
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = p
+		}
+		return c.combinePlus(parts, module, agg)
+	}
+	if !c.opts.DisableFactoring {
+		if node, ok, err := c.tryFactorSum(terms, module, agg); err != nil {
+			return nil, err
+		} else if ok {
+			return node, nil
+		}
+	}
+	return c.shannon(whole)
+}
+
+// combinePlus folds independent parts into a balanced binary ⊕ tree.
+func (c *Compiler) combinePlus(parts []dtree.Node, module bool, agg algebra.Agg) (dtree.Node, error) {
+	for len(parts) > 1 {
+		next := make([]dtree.Node, 0, (len(parts)+1)/2)
+		for i := 0; i < len(parts); i += 2 {
+			if i+1 == len(parts) {
+				next = append(next, parts[i])
+				continue
+			}
+			n, err := c.newNode(&dtree.PlusNode{Module: module, Agg: agg, L: parts[i], R: parts[i+1]})
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, n)
+		}
+		parts = next
+	}
+	return parts[0], nil
+}
+
+// tryFactorSum implements read-once factoring: if some variable x occurs
+// as a multiplicative factor in *every* term and vanishes from the
+// residuals, the sum equals x · (Σ residuals) by distributivity — or
+// x ⊗ (Σ residuals) for semimodule sums, by the semimodule laws
+// (paper Example 14).
+func (c *Compiler) tryFactorSum(terms []expr.Expr, module bool, agg algebra.Agg) (dtree.Node, bool, error) {
+	// Candidate variables: factors of the first term.
+	for _, x := range factorVariables(terms[0], module) {
+		residuals := make([]expr.Expr, len(terms))
+		ok := true
+		for i, t := range terms {
+			r, removed := removeFactor(t, x, module)
+			if !removed {
+				ok = false
+				break
+			}
+			residuals[i] = r
+		}
+		if !ok {
+			continue
+		}
+		// x must vanish entirely, or the two sides would share it.
+		shared := false
+		for _, r := range residuals {
+			if _, found := expr.VarCounts(r)[x]; found {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			continue
+		}
+		c.st.Factorings++
+		var rest expr.Expr
+		if module {
+			rest = expr.Simplify(expr.MSum(agg, residuals...), c.s)
+		} else {
+			rest = expr.Simplify(expr.Sum(residuals...), c.s)
+		}
+		restNode, err := c.compile(rest)
+		if err != nil {
+			return nil, false, err
+		}
+		xNode, err := c.compile(expr.V(x))
+		if err != nil {
+			return nil, false, err
+		}
+		var out dtree.Node
+		if module {
+			out, err = c.newNode(&dtree.TensorNode{Agg: agg, Scalar: xNode, Mod: restNode})
+		} else {
+			out, err = c.newNode(&dtree.TimesNode{L: xNode, R: restNode})
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return out, true, nil
+	}
+	return nil, false, nil
+}
+
+// factorVariables lists the variables available for factoring out of a
+// term: the top-level Var/Mul factors of a semiring term, or of the scalar
+// of a semimodule tensor term.
+func factorVariables(t expr.Expr, module bool) []string {
+	if module {
+		tensor, ok := t.(expr.Tensor)
+		if !ok {
+			return nil
+		}
+		return factorVariables(tensor.Scalar, false)
+	}
+	switch n := t.(type) {
+	case expr.Var:
+		return []string{n.Name}
+	case expr.Mul:
+		var out []string
+		seen := map[string]struct{}{}
+		for _, f := range n.Factors {
+			if v, ok := f.(expr.Var); ok {
+				if _, dup := seen[v.Name]; !dup {
+					seen[v.Name] = struct{}{}
+					out = append(out, v.Name)
+				}
+			}
+		}
+		sort.Strings(out)
+		return out
+	default:
+		return nil
+	}
+}
+
+// removeFactor divides term t by variable x, removing exactly one
+// occurrence of x as a top-level factor. It reports whether the division
+// succeeded.
+func removeFactor(t expr.Expr, x string, module bool) (expr.Expr, bool) {
+	if module {
+		tensor, ok := t.(expr.Tensor)
+		if !ok {
+			return nil, false
+		}
+		sc, ok := removeFactor(tensor.Scalar, x, false)
+		if !ok {
+			return nil, false
+		}
+		return expr.Tensor{Agg: tensor.Agg, Scalar: sc, Mod: tensor.Mod}, true
+	}
+	switch n := t.(type) {
+	case expr.Var:
+		if n.Name == x {
+			return expr.CInt(1), true
+		}
+		return nil, false
+	case expr.Mul:
+		for i, f := range n.Factors {
+			if v, ok := f.(expr.Var); ok && v.Name == x {
+				rest := make([]expr.Expr, 0, len(n.Factors)-1)
+				rest = append(rest, n.Factors[:i]...)
+				rest = append(rest, n.Factors[i+1:]...)
+				if len(rest) == 0 {
+					return expr.CInt(1), true
+				}
+				return expr.Product(rest...), true
+			}
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// compileProduct applies rule 2: split the factors of a product into
+// independent groups.
+func (c *Compiler) compileProduct(m expr.Mul, whole expr.Expr) (dtree.Node, error) {
+	groups := components(m.Factors)
+	if len(groups) > 1 {
+		c.st.ProductSplits += len(groups) - 1
+		parts := make([]dtree.Node, len(groups))
+		for i, g := range groups {
+			p, err := c.compile(expr.Simplify(expr.Product(g...), c.s))
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = p
+		}
+		for len(parts) > 1 {
+			next := make([]dtree.Node, 0, (len(parts)+1)/2)
+			for i := 0; i < len(parts); i += 2 {
+				if i+1 == len(parts) {
+					next = append(next, parts[i])
+					continue
+				}
+				n, err := c.newNode(&dtree.TimesNode{L: parts[i], R: parts[i+1]})
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, n)
+			}
+			parts = next
+		}
+		return parts[0], nil
+	}
+	return c.shannon(whole)
+}
+
+// compileTensor applies rule 3: Φ ⊗ α with independent sides.
+func (c *Compiler) compileTensor(t expr.Tensor, whole expr.Expr) (dtree.Node, error) {
+	if disjoint(t.Scalar, t.Mod) {
+		c.st.TensorSplits++
+		sc, err := c.compile(t.Scalar)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := c.compile(t.Mod)
+		if err != nil {
+			return nil, err
+		}
+		return c.newNode(&dtree.TensorNode{Agg: t.Agg, Scalar: sc, Mod: mod})
+	}
+	return c.shannon(whole)
+}
+
+// compileCmp applies the pruning rules and then rule 4.
+func (c *Compiler) compileCmp(cm expr.Cmp) (dtree.Node, error) {
+	if !c.opts.DisablePruning {
+		pruned := c.pruneCmp(cm)
+		simplified := expr.Simplify(pruned, c.s)
+		if !expr.HasVars(simplified) {
+			v, err := expr.Eval(simplified, nil, c.s)
+			if err != nil {
+				return nil, err
+			}
+			return c.newNode(&dtree.ConstLeaf{V: v})
+		}
+		var ok bool
+		if cm, ok = simplified.(expr.Cmp); !ok {
+			return c.compile(simplified)
+		}
+	}
+	if disjoint(cm.L, cm.R) {
+		c.st.CmpSplits++
+		l, err := c.compile(cm.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(cm.R)
+		if err != nil {
+			return nil, err
+		}
+		var cap *prob.Cap
+		if !c.opts.DisablePruning {
+			cap = c.capFor(cm)
+		}
+		return c.newNode(&dtree.CmpNode{Th: cm.Th, L: l, R: r, Cap: cap})
+	}
+	return c.shannon(cm)
+}
+
+// shannon applies rule 5/6: mutex expansion ⊔x of the chosen variable.
+func (c *Compiler) shannon(e expr.Expr) (dtree.Node, error) {
+	x := c.chooseVariable(e)
+	d, err := c.reg.Dist(x)
+	if err != nil {
+		return nil, err
+	}
+	c.st.Shannon++
+	branches := make([]dtree.Branch, 0, d.Size())
+	for _, pair := range d.Pairs() {
+		sub := expr.Simplify(expr.Subst(e, x, pair.V), c.s)
+		child, err := c.compile(sub)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, dtree.Branch{Val: pair.V, P: pair.P, Child: child})
+	}
+	return c.newNode(&dtree.ExclusiveNode{Var: x, Branches: branches})
+}
+
+// chooseVariable applies the configured variable-order heuristic.
+func (c *Compiler) chooseVariable(e expr.Expr) string {
+	counts := expr.VarCounts(e)
+	names := make([]string, 0, len(counts))
+	for x := range counts {
+		names = append(names, x)
+	}
+	sort.Strings(names)
+	switch c.opts.Order {
+	case Lexicographic:
+		return names[0]
+	case LeastOccurrences:
+		best := names[0]
+		for _, x := range names[1:] {
+			if counts[x] < counts[best] {
+				best = x
+			}
+		}
+		return best
+	default: // MostOccurrences
+		best := names[0]
+		for _, x := range names[1:] {
+			if counts[x] > counts[best] {
+				best = x
+			}
+		}
+		return best
+	}
+}
+
+// components partitions terms into connected components of the
+// clause-dependency graph: two terms are connected when they share a
+// variable. Constant terms get their own singleton components.
+func components(terms []expr.Expr) [][]expr.Expr {
+	n := len(terms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	owner := map[string]int{} // variable -> first term index seen
+	for i, t := range terms {
+		for x := range expr.VarCounts(t) {
+			if j, ok := owner[x]; ok {
+				union(i, j)
+			} else {
+				owner[x] = i
+			}
+		}
+	}
+	groupsByRoot := map[int][]expr.Expr{}
+	var order []int
+	for i, t := range terms {
+		r := find(i)
+		if _, ok := groupsByRoot[r]; !ok {
+			order = append(order, r)
+		}
+		groupsByRoot[r] = append(groupsByRoot[r], t)
+	}
+	out := make([][]expr.Expr, 0, len(order))
+	for _, r := range order {
+		out = append(out, groupsByRoot[r])
+	}
+	return out
+}
+
+// disjoint reports whether two expressions share no variables.
+func disjoint(a, b expr.Expr) bool {
+	av := expr.VarCounts(a)
+	for x := range expr.VarCounts(b) {
+		if _, ok := av[x]; ok {
+			return false
+		}
+	}
+	return true
+}

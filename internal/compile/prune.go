@@ -1,0 +1,347 @@
+package compile
+
+import (
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/value"
+)
+
+// This file implements the "Pruning Conditional Expressions" optimisation
+// of Section 5: algebraic rules that remove redundant semimodule terms
+// from comparisons, interval analysis that decides comparisons outright,
+// and the distribution caps that bound convolution sizes during d-tree
+// evaluation.
+
+// pruneCmp rewrites [α θ β] into an equivalent comparison with redundant
+// terms removed. Equivalence is with respect to the comparison's
+// distribution, not the operand's.
+func (c *Compiler) pruneCmp(cm expr.Cmp) expr.Expr {
+	l, r := cm.L, cm.R
+	th := cm.Th
+	// Normalise a constant left side to the right: [c θ α] ≡ [α θ.Flip() c].
+	if isConst(l) && !isConst(r) {
+		l, r = r, l
+		th = th.Flip()
+	}
+	if cv, ok := constOf(r); ok && l.Kind() == expr.KindModule {
+		// Interval analysis: if every world's value of l decides θ against
+		// cv the same way, the comparison is constant (subsumes the
+		// paper's SUM rule "≡ 1S if Σ mi ≤ m").
+		if lo, hi, ok := c.bounds(l); ok {
+			if decided, res := decide(th, lo, hi, cv); decided {
+				return expr.Const{V: boolTo(c.s, res)}
+			}
+		}
+		if pruned, ok := c.pruneTerms(l, th, cv); ok {
+			return expr.Cmp{Th: th, L: pruned, R: r}
+		}
+	}
+	return expr.Cmp{Th: th, L: l, R: r}
+}
+
+// pruneTerms applies the monoid-specific term-pruning rules against the
+// constant cv. For MIN: terms whose value can never fall on the deciding
+// side of cv are dropped (paper's rule [Σmin Φi⊗mi ≤ m] ≡ [Σ_{mi≤m} … ≤ m]);
+// MAX mirrors MIN. SUM/COUNT/PROD terms are never dropped (every term can
+// shift the aggregate) — those rely on interval analysis and capping.
+func (c *Compiler) pruneTerms(l expr.Expr, th value.Theta, cv value.V) (expr.Expr, bool) {
+	sum, ok := l.(expr.AggSum)
+	if !ok {
+		return nil, false
+	}
+	var keep func(m value.V) bool
+	switch sum.Agg {
+	case algebra.Min:
+		// Irrelevant MIN terms are those with m > cv — they can never be
+		// the deciding minimum. Boundary cases depend on θ.
+		switch th {
+		case value.LT, value.GE:
+			keep = func(m value.V) bool { return m.Less(cv) }
+		default: // LE, GT, EQ, NE
+			keep = func(m value.V) bool { return !cv.Less(m) }
+		}
+	case algebra.Max:
+		switch th {
+		case value.GT, value.LE:
+			keep = func(m value.V) bool { return cv.Less(m) }
+		default: // GE, LT, EQ, NE
+			keep = func(m value.V) bool { return !m.Less(cv) }
+		}
+	default:
+		return nil, false
+	}
+	kept := make([]expr.Expr, 0, len(sum.Terms))
+	dropped := 0
+	for _, t := range sum.Terms {
+		if m, ok := termValue(t); ok && !keep(m) {
+			dropped++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if dropped == 0 {
+		return nil, false
+	}
+	c.st.PrunedTerms += dropped
+	if len(kept) == 0 {
+		return expr.MConst{V: algebra.MonoidFor(sum.Agg).Neutral()}, true
+	}
+	return expr.MSum(sum.Agg, kept...), true
+}
+
+// termValue extracts the monoid constant of a term Φ ⊗ m or m.
+func termValue(t expr.Expr) (value.V, bool) {
+	switch n := t.(type) {
+	case expr.MConst:
+		return n.V, true
+	case expr.Tensor:
+		if mc, ok := n.Mod.(expr.MConst); ok {
+			return mc.V, true
+		}
+	}
+	return value.V{}, false
+}
+
+// decide checks whether [v θ cv] has the same outcome for every v in
+// [lo, hi]; if so it returns that outcome. For the monotone relations the
+// endpoints agreeing decides the interval; for EQ/NE the constant must lie
+// outside the interval (or the interval must be a point).
+func decide(th value.Theta, lo, hi, cv value.V) (bool, bool) {
+	switch th {
+	case value.EQ:
+		if cv.Less(lo) || hi.Less(cv) {
+			return true, false
+		}
+		if lo == hi { // point interval containing cv
+			return true, true
+		}
+		return false, false
+	case value.NE:
+		if cv.Less(lo) || hi.Less(cv) {
+			return true, true
+		}
+		if lo == hi {
+			return true, false
+		}
+		return false, false
+	default:
+		atLo, atHi := th.Apply(lo, cv), th.Apply(hi, cv)
+		if atLo == atHi {
+			return true, atLo
+		}
+		return false, false
+	}
+}
+
+// bounds computes an interval [lo, hi] containing every possible value of
+// the module expression e, using the variable supports in the registry.
+// The third result is false when no finite analysis is possible.
+func (c *Compiler) bounds(e expr.Expr) (value.V, value.V, bool) {
+	switch n := e.(type) {
+	case expr.MConst:
+		return n.V, n.V, true
+	case expr.Tensor:
+		mo := algebra.MonoidFor(n.Agg)
+		mlo, mhi, ok := c.bounds(n.Mod)
+		if !ok {
+			return value.V{}, value.V{}, false
+		}
+		slo, shi, ok := c.scalarBounds(n.Scalar)
+		if !ok {
+			return value.V{}, value.V{}, false
+		}
+		// Candidate extreme outcomes of Action over the corner points.
+		cands := []value.V{
+			algebra.Action(c.s, mo, slo, mlo),
+			algebra.Action(c.s, mo, slo, mhi),
+			algebra.Action(c.s, mo, shi, mlo),
+			algebra.Action(c.s, mo, shi, mhi),
+		}
+		// Scalars strictly between the corners can produce the neutral
+		// (s = 0) or intermediate multiples; include the neutral when 0
+		// is in the scalar range, and note that SUM action is monotone
+		// in s for fixed m ≥ 0 — for mixed-sign m the corner products
+		// already cover the extremes.
+		if !value.Int(0).Less(slo) {
+			cands = append(cands, mo.Neutral())
+		}
+		lo, hi := cands[0], cands[0]
+		for _, v := range cands[1:] {
+			lo, hi = lo.Min(v), hi.Max(v)
+		}
+		return lo, hi, true
+	case expr.AggSum:
+		mo := algebra.MonoidFor(n.Agg)
+		lo, hi := mo.Neutral(), mo.Neutral()
+		for _, t := range n.Terms {
+			tlo, thi, ok := c.bounds(t)
+			if !ok {
+				return value.V{}, value.V{}, false
+			}
+			switch n.Agg {
+			case algebra.Sum, algebra.Count:
+				lo, hi = lo.Add(tlo), hi.Add(thi)
+			case algebra.Min:
+				// The term may be absent (neutral +∞), so only the lower
+				// bound tightens.
+				lo = lo.Min(tlo)
+			case algebra.Max:
+				hi = hi.Max(thi)
+			default:
+				return value.V{}, value.V{}, false
+			}
+		}
+		return lo, hi, true
+	default:
+		return value.V{}, value.V{}, false
+	}
+}
+
+// scalarBounds computes an interval for a semiring expression, assuming
+// non-negative variable supports (it bails out otherwise, keeping the
+// product rule sound).
+func (c *Compiler) scalarBounds(e expr.Expr) (value.V, value.V, bool) {
+	switch n := e.(type) {
+	case expr.Const:
+		v := c.s.Normalise(n.V)
+		if v.Less(value.Int(0)) {
+			return value.V{}, value.V{}, false
+		}
+		return v, v, true
+	case expr.Var:
+		d, err := c.reg.Dist(n.Name)
+		if err != nil {
+			return value.V{}, value.V{}, false
+		}
+		support := d.Support()
+		lo := c.s.Normalise(support[0])
+		hi := c.s.Normalise(support[len(support)-1])
+		for _, v := range support {
+			nv := c.s.Normalise(v)
+			lo, hi = lo.Min(nv), hi.Max(nv)
+		}
+		if lo.Less(value.Int(0)) {
+			return value.V{}, value.V{}, false
+		}
+		return lo, hi, true
+	case expr.Add:
+		lo, hi := value.Int(0), value.Int(0)
+		if c.s.Kind() == algebra.Boolean {
+			// Boolean sum is disjunction: bounded by [max lo, max hi]
+			// with saturation at 1.
+			for _, t := range n.Terms {
+				tlo, thi, ok := c.scalarBounds(t)
+				if !ok {
+					return value.V{}, value.V{}, false
+				}
+				lo = lo.Max(tlo)
+				hi = hi.Max(thi)
+			}
+			return lo, hi, true
+		}
+		for _, t := range n.Terms {
+			tlo, thi, ok := c.scalarBounds(t)
+			if !ok {
+				return value.V{}, value.V{}, false
+			}
+			lo, hi = lo.Add(tlo), hi.Add(thi)
+		}
+		return lo, hi, true
+	case expr.Mul:
+		lo, hi := value.Int(1), value.Int(1)
+		for _, f := range n.Factors {
+			flo, fhi, ok := c.scalarBounds(f)
+			if !ok {
+				return value.V{}, value.V{}, false
+			}
+			lo, hi = lo.Mul(flo), hi.Mul(fhi)
+		}
+		return lo, hi, true
+	case expr.Cmp:
+		return value.Int(0), value.Int(1), true
+	default:
+		return value.V{}, value.V{}, false
+	}
+}
+
+// capFor derives the distribution cap for an independent comparison
+// [α θ β]: values of α beyond the largest possible value of β are
+// equivalent (they compare identically against every β outcome), so the
+// evaluator may collapse them during every intermediate convolution under
+// this node. Intermediate capping is sound only for monoids whose
+// combination cannot bring a value back below the cap: MIN, MAX, and
+// SUM/COUNT over provably non-negative contributions.
+func (c *Compiler) capFor(cm expr.Cmp) *prob.Cap {
+	if cm.L.Kind() != expr.KindModule {
+		return nil
+	}
+	agg, ok := moduleAgg(cm.L)
+	if !ok {
+		return nil
+	}
+	switch agg {
+	case algebra.Min, algebra.Max:
+		// always sound
+	case algebra.Sum, algebra.Count:
+		lo, _, ok := c.bounds(cm.L)
+		if !ok || lo.Less(value.Int(0)) {
+			return nil
+		}
+	default:
+		return nil // PROD: growth is multiplicative; skip capping
+	}
+	// Limit: the largest value of the right side that can influence the
+	// outcome.
+	var limit value.V
+	if cv, ok := constOf(cm.R); ok {
+		limit = cv
+	} else if _, hi, ok := c.bounds(cm.R); ok && hi.IsInt() {
+		limit = hi
+	} else {
+		return nil
+	}
+	if !limit.IsInt() {
+		return nil
+	}
+	return &prob.Cap{Above: true, Limit: limit}
+}
+
+// moduleAgg returns the aggregation monoid of a module expression.
+func moduleAgg(e expr.Expr) (algebra.Agg, bool) {
+	switch n := e.(type) {
+	case expr.AggSum:
+		return n.Agg, true
+	case expr.Tensor:
+		return n.Agg, true
+	case expr.MConst:
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func isConst(e expr.Expr) bool {
+	switch e.(type) {
+	case expr.Const, expr.MConst:
+		return true
+	}
+	return false
+}
+
+func constOf(e expr.Expr) (value.V, bool) {
+	switch n := e.(type) {
+	case expr.Const:
+		return n.V, true
+	case expr.MConst:
+		return n.V, true
+	}
+	return value.V{}, false
+}
+
+func boolTo(s algebra.Semiring, b bool) value.V {
+	if b {
+		return s.One()
+	}
+	return s.Zero()
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/compile"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// This file checks the possible-worlds commuting diagram on randomised
+// databases and a family of query shapes covering every operator:
+//
+//	symbolic evaluation + d-tree probability computation
+//	    ≡  deterministic evaluation in every possible world, weighted
+//
+// The deterministic side reuses the engine itself: materialising a world
+// turns every annotation into a constant, so the same plan run on the
+// materialised database produces the world's deterministic answer.
+
+// worldDatabase materialises the possible world of db under nu: tuples
+// whose annotation evaluates to 0S are dropped, kept tuples get the
+// annotation 1K.
+func worldDatabase(t *testing.T, db *pvc.Database, nu expr.Valuation) *pvc.Database {
+	t.Helper()
+	s := db.Semiring()
+	out := pvc.NewDatabase(db.Kind)
+	for _, name := range db.Names() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrel := pvc.NewRelation(name, rel.Schema)
+		for _, tup := range rel.Tuples {
+			v, err := expr.Eval(tup.Ann, nu, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == s.Zero() {
+				continue
+			}
+			wrel.MustInsert(expr.CInt(1), tup.Cells...)
+		}
+		out.Add(wrel)
+	}
+	return out
+}
+
+// constKey identifies a result tuple by its constant cells (module cells
+// evaluate per world and are checked separately).
+func constKey(sch pvc.Schema, t pvc.Tuple) string {
+	key := ""
+	for i, c := range sch {
+		if c.Type == pvc.TModule {
+			continue
+		}
+		key += t.Cells[i].Key() + "\x1f"
+	}
+	return key
+}
+
+func checkCommutes(t *testing.T, db *pvc.Database, plan Plan) {
+	t.Helper()
+	rel, results, _, err := Run(db, plan, compile.Options{})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", plan, err)
+	}
+	sym := map[string]float64{}
+	aggSym := map[string]prob.Dist{}
+	for _, r := range results {
+		k := constKey(rel.Schema, r.Tuple)
+		sym[k] = r.Confidence
+		if len(r.AggDists) == 1 {
+			aggSym[k] = r.AggDists[0]
+		}
+	}
+	// Module column index, if exactly one.
+	modIdx := -1
+	nMod := 0
+	for i, c := range rel.Schema {
+		if c.Type == pvc.TModule {
+			modIdx = i
+			nMod++
+		}
+	}
+
+	want := map[string]float64{}
+	aggWant := map[string]map[value.V]float64{}
+	s := db.Semiring()
+	err = db.Registry.Enumerate(db.Registry.Names(), func(nu expr.Valuation, p float64) {
+		if p == 0 {
+			return
+		}
+		wdb := worldDatabase(t, db, nu)
+		wrel, werr := plan.Eval(wdb)
+		if werr != nil {
+			t.Fatalf("world eval: %v", werr)
+		}
+		seen := map[string]bool{}
+		for _, tup := range wrel.Tuples {
+			av, aerr := expr.Eval(tup.Ann, nil, s)
+			if aerr != nil {
+				t.Fatalf("world annotation %s: %v", expr.String(tup.Ann), aerr)
+			}
+			if av == s.Zero() {
+				continue
+			}
+			k := constKey(wrel.Schema, tup)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			want[k] += p
+			if nMod == 1 {
+				cell := tup.Cells[modIdx]
+				var mv value.V
+				switch cell.Kind() {
+				case pvc.KindExpr:
+					mv, aerr = expr.Eval(cell.Expr(), nil, s)
+					if aerr != nil {
+						t.Fatal(aerr)
+					}
+				case pvc.KindValue:
+					mv = cell.Value()
+				}
+				if aggWant[k] == nil {
+					aggWant[k] = map[value.V]float64{}
+				}
+				aggWant[k][mv.Key()] += p
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if math.Abs(sym[k]-w) > 1e-9 {
+			t.Errorf("plan %s: P[%q] = %v symbolically, %v by worlds", plan, k, sym[k], w)
+		}
+	}
+	for k, p := range sym {
+		if p > 1e-9 && want[k] == 0 {
+			t.Errorf("plan %s: tuple %q has symbolic probability %v but never appears in a world", plan, k, p)
+		}
+	}
+	// Aggregation-value distributions: the symbolic marginal restricted
+	// to worlds where the group exists must match the per-world values.
+	for k, dist := range aggWant {
+		symDist, ok := aggSym[k]
+		if !ok {
+			continue
+		}
+		for v, p := range dist {
+			if got := symDist.P(v); got+1e-9 < p {
+				t.Errorf("plan %s: group %q value %v has world mass %v > symbolic %v", plan, k, v, p, got)
+			}
+		}
+	}
+}
+
+// randomSmallDB builds R(a, b) and S(b, c) with 3–4 independent tuples
+// each (≤ 2⁸ worlds).
+func randomSmallDB(r *rand.Rand) *pvc.Database {
+	db := pvc.NewDatabase(algebra.Boolean)
+	mk := func(name string, cols [2]string, rows int) {
+		rel := pvc.NewRelation(name, pvc.Schema{
+			{Name: cols[0], Type: pvc.TValue},
+			{Name: cols[1], Type: pvc.TValue},
+		})
+		for i := 0; i < rows; i++ {
+			if _, err := db.InsertIndependent(rel, 0.2+0.6*r.Float64(),
+				pvc.IntCell(int64(r.Intn(3))), pvc.IntCell(int64(r.Intn(4)*10))); err != nil {
+				panic(err)
+			}
+		}
+		db.Add(rel)
+	}
+	mk("R", [2]string{"a", "b"}, 3+r.Intn(2))
+	mk("S", [2]string{"b", "c"}, 3+r.Intn(2))
+	return db
+}
+
+func queryShapes(r *rand.Rand) []Plan {
+	aggs := []algebra.Agg{algebra.Min, algebra.Max, algebra.Sum, algebra.Count}
+	agg := aggs[r.Intn(len(aggs))]
+	th := []value.Theta{value.LE, value.GE, value.EQ}[r.Intn(3)]
+	c := pvc.IntCell(int64(r.Intn(4) * 10))
+	return []Plan{
+		// π over a join.
+		&Project{Cols: []string{"a"}, Input: &Join{L: &Scan{Table: "R"}, R: &Scan{Table: "S"}}},
+		// Grouped aggregation over a base table.
+		&GroupAgg{Input: &Scan{Table: "R"}, GroupBy: []string{"a"}, Aggs: []AggSpec{{Out: "m", Agg: agg, Over: "b"}}},
+		// Grouped aggregation over a join, then a HAVING-style selection
+		// and projection (the paper's Q2 shape).
+		&Project{Cols: []string{"a"}, Input: &Select{
+			Pred: Where(ColTheta("m", th, c)),
+			Input: &GroupAgg{
+				Input:   &Join{L: &Scan{Table: "R"}, R: &Scan{Table: "S"}},
+				GroupBy: []string{"a"},
+				Aggs:    []AggSpec{{Out: "m", Agg: agg, Over: "c"}},
+			},
+		}},
+		// Global aggregation with a comparison (HAVING without GROUP BY).
+		&Project{Cols: nil, Input: &Select{
+			Pred: Where(ColTheta("m", th, c)),
+			Input: &GroupAgg{
+				Input: &Scan{Table: "S"},
+				Aggs:  []AggSpec{{Out: "m", Agg: agg, Over: "c"}},
+			},
+		}},
+		// Union of projections.
+		&Union{
+			L: &Project{Cols: []string{"b"}, Input: &Scan{Table: "R"}},
+			R: &Project{Cols: []string{"b"}, Input: &Scan{Table: "S"}},
+		},
+		// Product with renames, filtered.
+		&Project{Cols: []string{"a"}, Input: &Select{
+			Pred: Where(ColEqCol("b", "b2")),
+			Input: &Product{
+				L: &Scan{Table: "R"},
+				R: &Rename{Input: &Rename{Input: &Scan{Table: "S"}, From: "b", To: "b2"}, From: "c", To: "c2"},
+			},
+		}},
+	}
+}
+
+func TestRandomQueriesCommute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world enumeration is slow in -short mode")
+	}
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 8; trial++ {
+		db := randomSmallDB(r)
+		for i, plan := range queryShapes(r) {
+			t.Run(fmt.Sprintf("trial%d/shape%d", trial, i), func(t *testing.T) {
+				checkCommutes(t, db, plan)
+			})
+		}
+	}
+}

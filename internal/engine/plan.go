@@ -1,0 +1,540 @@
+// Package engine implements the query language Q of the paper's
+// Definition 5 — positive relational algebra (δ, σ, π, ×, ⋈, ∪) extended
+// with the grouping/aggregation operator $ — together with the rewriting
+// ⟦·⟧ of Figure 4 that constructs the semiring annotations and semimodule
+// values of every result tuple. Evaluating a plan yields a pvc-table;
+// probability computation for its tuples is in probs.go.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// Plan is a node of a Q-algebra query plan.
+type Plan interface {
+	// Eval evaluates the plan on db and returns the result pvc-table with
+	// annotations constructed per Figure 4.
+	Eval(db *pvc.Database) (*pvc.Relation, error)
+	// String renders the plan as an algebra expression.
+	String() string
+}
+
+// Scan reads a stored relation.
+type Scan struct{ Table string }
+
+// Rename renames column From to To (the paper's δ).
+type Rename struct {
+	Input    Plan
+	From, To string
+}
+
+// Select filters by a conjunction of comparison atoms (σ). Comparisons on
+// constant columns filter tuples; comparisons involving aggregation
+// columns multiply the annotation with a conditional expression
+// (Figure 4: Φ ·K [A θ B]).
+type Select struct {
+	Input Plan
+	Pred  Pred
+}
+
+// Project projects onto the named constant columns (π), summing the
+// annotations of collapsing tuples.
+type Project struct {
+	Input Plan
+	Cols  []string
+}
+
+// Product is the cross product (×); column names must be disjoint.
+type Product struct{ L, R Plan }
+
+// Join is the natural join on the shared constant columns — the π σ ×
+// combination the paper's queries use, provided as one operator.
+type Join struct{ L, R Plan }
+
+// Union is the (bag) union of two schema-compatible inputs, summing
+// annotations of identical tuples.
+type Union struct{ L, R Plan }
+
+// AggSpec is one aggregation of the $ operator: Out is the new column,
+// Agg the monoid, Over the aggregated input column (ignored for COUNT).
+type AggSpec struct {
+	Out  string
+	Agg  algebra.Agg
+	Over string
+}
+
+// GroupAgg is the paper's $ operator: group by the named constant columns
+// and aggregate per group. With an empty GroupBy the result is a single
+// tuple annotated 1K; with grouping, each group tuple is annotated with
+// the non-emptiness condition [ΣK Φ ≠ 0K] (Figure 4).
+type GroupAgg struct {
+	Input   Plan
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+func (p *Scan) String() string { return p.Table }
+func (p *Rename) String() string {
+	return fmt.Sprintf("δ[%s←%s](%s)", p.To, p.From, p.Input)
+}
+func (p *Select) String() string { return fmt.Sprintf("σ[%s](%s)", p.Pred, p.Input) }
+func (p *Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Cols, ","), p.Input)
+}
+func (p *Product) String() string { return fmt.Sprintf("(%s × %s)", p.L, p.R) }
+func (p *Join) String() string    { return fmt.Sprintf("(%s ⋈ %s)", p.L, p.R) }
+func (p *Union) String() string   { return fmt.Sprintf("(%s ∪ %s)", p.L, p.R) }
+func (p *GroupAgg) String() string {
+	specs := make([]string, len(p.Aggs))
+	for i, a := range p.Aggs {
+		specs[i] = fmt.Sprintf("%s←%s(%s)", a.Out, a.Agg, a.Over)
+	}
+	return fmt.Sprintf("$[%s;%s](%s)", strings.Join(p.GroupBy, ","), strings.Join(specs, ","), p.Input)
+}
+
+// Pred is a conjunction of comparison atoms.
+type Pred struct{ Atoms []Atom }
+
+// Atom is one comparison: Left θ Right, where Left is a column and Right
+// is a column or a constant cell.
+type Atom struct {
+	Left     string
+	Th       value.Theta
+	RightCol string    // set when comparing two columns
+	RightVal *pvc.Cell // set when comparing against a constant
+}
+
+// Where starts a predicate from atoms.
+func Where(atoms ...Atom) Pred { return Pred{Atoms: atoms} }
+
+// ColEqCol builds A = B.
+func ColEqCol(a, b string) Atom { return Atom{Left: a, Th: value.EQ, RightCol: b} }
+
+// ColTheta builds A θ constant.
+func ColTheta(a string, th value.Theta, c pvc.Cell) Atom {
+	return Atom{Left: a, Th: th, RightVal: &c}
+}
+
+// ColThetaCol builds A θ B.
+func ColThetaCol(a string, th value.Theta, b string) Atom {
+	return Atom{Left: a, Th: th, RightCol: b}
+}
+
+func (p Pred) String() string {
+	parts := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		if a.RightVal != nil {
+			parts[i] = fmt.Sprintf("%s%s%s", a.Left, a.Th, a.RightVal)
+		} else {
+			parts[i] = fmt.Sprintf("%s%s%s", a.Left, a.Th, a.RightCol)
+		}
+	}
+	return strings.Join(parts, "∧")
+}
+
+// Eval implementations.
+
+func (p *Scan) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	r, err := db.Relation(p.Table)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+func (p *Rename) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	i := in.Schema.Index(p.From)
+	if i < 0 {
+		return nil, fmt.Errorf("engine: δ: unknown column %q in %s", p.From, p.Input)
+	}
+	if j := in.Schema.Index(p.To); j >= 0 {
+		return nil, fmt.Errorf("engine: δ: column %q already exists", p.To)
+	}
+	out := in.Clone()
+	out.Name = fmt.Sprintf("δ(%s)", in.Name)
+	out.Schema[i].Name = p.To
+	return out, nil
+}
+
+func (p *Select) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	s := db.Semiring()
+	out := pvc.NewRelation(fmt.Sprintf("σ(%s)", in.Name), in.Schema)
+	for _, t := range in.Tuples {
+		keep := true
+		ann := t.Ann
+		for _, a := range p.Pred.Atoms {
+			li := in.Schema.Index(a.Left)
+			if li < 0 {
+				return nil, fmt.Errorf("engine: σ: unknown column %q", a.Left)
+			}
+			var right pvc.Cell
+			if a.RightVal != nil {
+				right = *a.RightVal
+			} else {
+				ri := in.Schema.Index(a.RightCol)
+				if ri < 0 {
+					return nil, fmt.Errorf("engine: σ: unknown column %q", a.RightCol)
+				}
+				right = t.Cells[ri]
+			}
+			left := t.Cells[li]
+			if left.IsConst() && right.IsConst() {
+				if !constSatisfies(left, a.Th, right) {
+					keep = false
+					break
+				}
+				continue
+			}
+			// An aggregation column is involved: Φ ·K [A θ B].
+			cond, err := comparisonExpr(left, a.Th, right)
+			if err != nil {
+				return nil, err
+			}
+			ann = expr.Simplify(expr.Product(ann, cond), s)
+		}
+		if !keep {
+			continue
+		}
+		if c, ok := ann.(expr.Const); ok && c.V == s.Zero() {
+			continue // the condition is unsatisfiable in every world
+		}
+		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: t.Cells, Ann: ann})
+	}
+	return out, nil
+}
+
+// constSatisfies compares two constant cells.
+func constSatisfies(l pvc.Cell, th value.Theta, r pvc.Cell) bool {
+	c := l.Compare(r)
+	switch th {
+	case value.EQ:
+		return c == 0
+	case value.NE:
+		return c != 0
+	case value.LE:
+		return c <= 0
+	case value.GE:
+		return c >= 0
+	case value.LT:
+		return c < 0
+	default:
+		return c > 0
+	}
+}
+
+// comparisonExpr builds [A θ B] for cells of which at least one holds a
+// semimodule expression.
+func comparisonExpr(l pvc.Cell, th value.Theta, r pvc.Cell) (expr.Expr, error) {
+	toModule := func(c pvc.Cell) (expr.Expr, error) {
+		switch c.Kind() {
+		case pvc.KindExpr:
+			return c.Expr(), nil
+		case pvc.KindValue:
+			return expr.MConst{V: c.Value()}, nil
+		default:
+			return nil, fmt.Errorf("engine: σ: cannot compare string cell %s with an aggregation value", c)
+		}
+	}
+	le, err := toModule(l)
+	if err != nil {
+		return nil, err
+	}
+	re, err := toModule(r)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Compare(th, le, re), nil
+}
+
+func (p *Project) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	s := db.Semiring()
+	idx := make([]int, len(p.Cols))
+	schema := make(pvc.Schema, len(p.Cols))
+	for i, c := range p.Cols {
+		j := in.Schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: π: unknown column %q", c)
+		}
+		if in.Schema[j].Type == pvc.TModule {
+			return nil, fmt.Errorf("engine: π: column %q is an aggregation attribute (Definition 5 constraint 1)", c)
+		}
+		idx[i] = j
+		schema[i] = in.Schema[j]
+	}
+	out := pvc.NewRelation(fmt.Sprintf("π(%s)", in.Name), schema)
+	groupAnns := map[string][]expr.Expr{}
+	groupCells := map[string][]pvc.Cell{}
+	var order []string
+	for _, t := range in.Tuples {
+		cells := make([]pvc.Cell, len(idx))
+		for i, j := range idx {
+			cells[i] = t.Cells[j]
+		}
+		key := pvc.Tuple{Cells: cells}.Key()
+		if _, ok := groupCells[key]; !ok {
+			order = append(order, key)
+			groupCells[key] = cells
+		}
+		groupAnns[key] = append(groupAnns[key], t.Ann)
+	}
+	for _, key := range order {
+		ann := expr.Simplify(expr.Sum(groupAnns[key]...), s)
+		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: groupCells[key], Ann: ann})
+	}
+	return out, nil
+}
+
+func (p *Product) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	l, err := p.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range r.Schema {
+		if l.Schema.Index(c.Name) >= 0 {
+			return nil, fmt.Errorf("engine: ×: duplicate column %q (rename first)", c.Name)
+		}
+	}
+	s := db.Semiring()
+	schema := append(l.Schema.Clone(), r.Schema.Clone()...)
+	out := pvc.NewRelation(fmt.Sprintf("(%s×%s)", l.Name, r.Name), schema)
+	for _, lt := range l.Tuples {
+		for _, rt := range r.Tuples {
+			cells := make([]pvc.Cell, 0, len(lt.Cells)+len(rt.Cells))
+			cells = append(cells, lt.Cells...)
+			cells = append(cells, rt.Cells...)
+			ann := expr.Simplify(expr.Product(lt.Ann, rt.Ann), s)
+			out.Tuples = append(out.Tuples, pvc.Tuple{Cells: cells, Ann: ann})
+		}
+	}
+	return out, nil
+}
+
+func (p *Join) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	l, err := p.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	// Shared constant columns are the join keys.
+	var shared []string
+	for _, c := range l.Schema {
+		if j := r.Schema.Index(c.Name); j >= 0 {
+			if c.Type == pvc.TModule || r.Schema[j].Type == pvc.TModule {
+				return nil, fmt.Errorf("engine: ⋈: aggregation column %q cannot be a join key", c.Name)
+			}
+			shared = append(shared, c.Name)
+		}
+	}
+	s := db.Semiring()
+	schema := l.Schema.Clone()
+	var rCols []int
+	for j, c := range r.Schema {
+		if l.Schema.Index(c.Name) < 0 {
+			schema = append(schema, c)
+			rCols = append(rCols, j)
+		}
+	}
+	out := pvc.NewRelation(fmt.Sprintf("(%s⋈%s)", l.Name, r.Name), schema)
+	// Hash the right side on the join key.
+	rIdx := map[string][]pvc.Tuple{}
+	keyOf := func(sch pvc.Schema, t pvc.Tuple) string {
+		parts := make([]string, len(shared))
+		for i, name := range shared {
+			parts[i] = t.Cells[sch.Index(name)].Key()
+		}
+		return strings.Join(parts, "\x1f")
+	}
+	for _, rt := range r.Tuples {
+		k := keyOf(r.Schema, rt)
+		rIdx[k] = append(rIdx[k], rt)
+	}
+	for _, lt := range l.Tuples {
+		for _, rt := range rIdx[keyOf(l.Schema, lt)] {
+			cells := make([]pvc.Cell, 0, len(lt.Cells)+len(rCols))
+			cells = append(cells, lt.Cells...)
+			for _, j := range rCols {
+				cells = append(cells, rt.Cells[j])
+			}
+			ann := expr.Simplify(expr.Product(lt.Ann, rt.Ann), s)
+			out.Tuples = append(out.Tuples, pvc.Tuple{Cells: cells, Ann: ann})
+		}
+	}
+	return out, nil
+}
+
+func (p *Union) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	l, err := p.L.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.R.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Schema.Equal(r.Schema) {
+		return nil, fmt.Errorf("engine: ∪: incompatible schemas %v and %v", l.Schema.Names(), r.Schema.Names())
+	}
+	for _, c := range l.Schema {
+		if c.Type == pvc.TModule {
+			return nil, fmt.Errorf("engine: ∪: aggregation column %q (Definition 5 constraint 2)", c.Name)
+		}
+	}
+	s := db.Semiring()
+	out := pvc.NewRelation(fmt.Sprintf("(%s∪%s)", l.Name, r.Name), l.Schema)
+	groupAnns := map[string][]expr.Expr{}
+	groupCells := map[string][]pvc.Cell{}
+	var order []string
+	for _, t := range append(append([]pvc.Tuple{}, l.Tuples...), r.Tuples...) {
+		key := t.Key()
+		if _, ok := groupCells[key]; !ok {
+			order = append(order, key)
+			groupCells[key] = t.Cells
+		}
+		groupAnns[key] = append(groupAnns[key], t.Ann)
+	}
+	for _, key := range order {
+		ann := expr.Simplify(expr.Sum(groupAnns[key]...), s)
+		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: groupCells[key], Ann: ann})
+	}
+	return out, nil
+}
+
+func (p *GroupAgg) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	s := db.Semiring()
+	// Resolve columns.
+	gIdx := make([]int, len(p.GroupBy))
+	for i, g := range p.GroupBy {
+		j := in.Schema.Index(g)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: $: unknown group-by column %q", g)
+		}
+		if in.Schema[j].Type == pvc.TModule {
+			return nil, fmt.Errorf("engine: $: group-by column %q is an aggregation attribute", g)
+		}
+		gIdx[i] = j
+	}
+	type aggCol struct {
+		spec AggSpec
+		idx  int
+	}
+	aggs := make([]aggCol, len(p.Aggs))
+	for i, a := range p.Aggs {
+		idx := -1
+		if a.Agg != algebra.Count {
+			idx = in.Schema.Index(a.Over)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: $: unknown aggregation column %q", a.Over)
+			}
+			if in.Schema[idx].Type != pvc.TValue {
+				return nil, fmt.Errorf("engine: $: aggregation over non-value column %q", a.Over)
+			}
+		}
+		aggs[i] = aggCol{a, idx}
+	}
+	schema := make(pvc.Schema, 0, len(gIdx)+len(aggs))
+	for _, j := range gIdx {
+		schema = append(schema, in.Schema[j])
+	}
+	for _, a := range aggs {
+		schema = append(schema, pvc.Col{Name: a.spec.Out, Type: pvc.TModule, Agg: a.spec.Agg})
+	}
+	out := pvc.NewRelation(fmt.Sprintf("$(%s)", in.Name), schema)
+
+	type group struct {
+		cells []pvc.Cell
+		rows  []pvc.Tuple
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range in.Tuples {
+		cells := make([]pvc.Cell, len(gIdx))
+		for i, j := range gIdx {
+			cells[i] = t.Cells[j]
+		}
+		key := pvc.Tuple{Cells: cells}.Key()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{cells: cells}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, t)
+	}
+	// Figure 4: without grouping, the result is one tuple (neutral values
+	// on empty input) annotated 1K.
+	if len(p.GroupBy) == 0 && len(order) == 0 {
+		order = append(order, "")
+		groups[""] = &group{}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		g := groups[key]
+		cells := make([]pvc.Cell, 0, len(g.cells)+len(aggs))
+		cells = append(cells, g.cells...)
+		for _, a := range aggs {
+			monoidAgg := a.spec.Agg
+			terms := make([]expr.Expr, 0, len(g.rows))
+			for _, row := range g.rows {
+				var mv value.V
+				if a.spec.Agg == algebra.Count {
+					mv = value.Int(1)
+				} else {
+					c := row.Cells[a.idx]
+					if c.Kind() != pvc.KindValue {
+						return nil, fmt.Errorf("engine: $: aggregated cell %s is not a constant", c)
+					}
+					mv = c.Value()
+				}
+				terms = append(terms, expr.Scale(monoidAgg, row.Ann, mv))
+			}
+			var agg expr.Expr
+			if len(terms) == 0 {
+				agg = expr.MConst{V: algebra.MonoidFor(monoidAgg).Neutral()}
+			} else {
+				agg = expr.Simplify(expr.MSum(monoidAgg, terms...), s)
+			}
+			cells = append(cells, pvc.ExprCell(agg))
+		}
+		var ann expr.Expr = expr.CInt(1)
+		if len(p.GroupBy) > 0 {
+			anns := make([]expr.Expr, len(g.rows))
+			for i, row := range g.rows {
+				anns[i] = row.Ann
+			}
+			ann = expr.Simplify(
+				expr.Compare(value.NE, expr.Sum(anns...), expr.CInt(0)), s)
+		}
+		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: cells, Ann: ann})
+	}
+	return out, nil
+}

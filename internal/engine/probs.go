@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"pvcagg/internal/compile"
+	"pvcagg/internal/core"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/pvc"
+)
+
+// TupleResult is the probabilistic interpretation of one result tuple:
+// its confidence (the probability that the annotation is non-zero) and the
+// marginal distribution of every aggregation column.
+type TupleResult struct {
+	Tuple      pvc.Tuple
+	Confidence float64
+	// AggDists holds one distribution per TModule column of the result
+	// schema, in schema order.
+	AggDists []prob.Dist
+	Report   core.Report
+}
+
+// Run evaluates a plan and computes the probability of every result tuple
+// — the paper's two query-evaluation steps chained. The returned duration
+// pair separates expression construction (⟦·⟧) from probability
+// computation (P(·)), the quantities Experiment F reports.
+func Run(db *pvc.Database, plan Plan, opts compile.Options) (*pvc.Relation, []TupleResult, RunTiming, error) {
+	var timing RunTiming
+	t0 := time.Now()
+	rel, err := plan.Eval(db)
+	if err != nil {
+		return nil, nil, timing, err
+	}
+	rel.Sort()
+	timing.Construct = time.Since(t0)
+	t1 := time.Now()
+	results, err := Probabilities(db, rel, opts)
+	if err != nil {
+		return nil, nil, timing, err
+	}
+	timing.Probability = time.Since(t1)
+	return rel, results, timing, nil
+}
+
+// RunTiming separates the costs of the two evaluation steps.
+type RunTiming struct {
+	Construct   time.Duration // step I: computing tuples and expressions (⟦·⟧)
+	Probability time.Duration // step II: probability computation (P(·))
+}
+
+// Probabilities computes, for every tuple of rel, the confidence of its
+// annotation and the distribution of each aggregation column, by d-tree
+// compilation (Section 5).
+func Probabilities(db *pvc.Database, rel *pvc.Relation, opts compile.Options) ([]TupleResult, error) {
+	p := &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts}
+	var moduleCols []int
+	for i, c := range rel.Schema {
+		if c.Type == pvc.TModule {
+			moduleCols = append(moduleCols, i)
+		}
+	}
+	out := make([]TupleResult, 0, len(rel.Tuples))
+	for _, t := range rel.Tuples {
+		conf, rep, err := p.TruthProbability(t.Ann)
+		if err != nil {
+			return nil, fmt.Errorf("engine: annotation of tuple %s: %w", t.Key(), err)
+		}
+		res := TupleResult{Tuple: t, Confidence: conf, Report: rep}
+		for _, ci := range moduleCols {
+			cell := t.Cells[ci]
+			var e expr.Expr
+			switch cell.Kind() {
+			case pvc.KindExpr:
+				e = cell.Expr()
+			case pvc.KindValue:
+				e = expr.MConst{V: cell.Value()}
+			default:
+				return nil, fmt.Errorf("engine: aggregation column holds string cell %s", cell)
+			}
+			d, rep2, err := p.Distribution(e)
+			if err != nil {
+				return nil, fmt.Errorf("engine: aggregation value %s: %w", expr.String(e), err)
+			}
+			res.AggDists = append(res.AggDists, d)
+			res.Report.Compile.Nodes += rep2.Compile.Nodes
+			res.Report.Eval.NodeEvals += rep2.Eval.NodeEvals
+			if rep2.Eval.MaxDistSize > res.Report.Eval.MaxDistSize {
+				res.Report.Eval.MaxDistSize = rep2.Eval.MaxDistSize
+			}
+			res.Report.CompileTime += rep2.CompileTime
+			res.Report.EvalTime += rep2.EvalTime
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// JointResult computes the joint distribution of a tuple's annotation and
+// its aggregation columns (Section 5, "Compiling Joint Probability
+// Distributions") — the exact semantics of "the aggregate takes value v
+// and the tuple is present".
+func JointResult(db *pvc.Database, rel *pvc.Relation, row int) ([]core.JointOutcome, error) {
+	if row < 0 || row >= len(rel.Tuples) {
+		return nil, fmt.Errorf("engine: row %d out of range", row)
+	}
+	t := rel.Tuples[row]
+	es := []expr.Expr{t.Ann}
+	for i, c := range rel.Schema {
+		if c.Type != pvc.TModule {
+			continue
+		}
+		cell := t.Cells[i]
+		if cell.Kind() == pvc.KindExpr {
+			es = append(es, cell.Expr())
+		} else {
+			es = append(es, expr.MConst{V: cell.Value()})
+		}
+	}
+	p := core.New(db.Kind, db.Registry)
+	return p.Joint(es)
+}

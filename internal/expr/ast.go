@@ -1,0 +1,428 @@
+// Package expr implements the expression language of the paper's Figure 2:
+// semiring expressions Φ over a set X of random variables, semimodule
+// expressions α = Φ1⊗m1 +op … +op Φn⊗mn, and conditional expressions
+// [Φ θ Ψ] and [α θ β]. Expressions are the annotations and aggregation
+// values stored in pvc-tables and the input to d-tree compilation.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/value"
+)
+
+// Kind distinguishes the two sorts of the grammar: semiring expressions
+// (sort Φ, elements of K) and semimodule expressions (sort α, elements of
+// K ⊗ M).
+type Kind int
+
+const (
+	// KindSemiring marks expressions denoting semiring elements.
+	KindSemiring Kind = iota
+	// KindModule marks expressions denoting aggregation-monoid elements.
+	KindModule
+)
+
+func (k Kind) String() string {
+	if k == KindSemiring {
+		return "semiring"
+	}
+	return "module"
+}
+
+// Expr is a node of the expression AST. Implementations are Var, Const,
+// MConst, Add, Mul, Tensor, AggSum and Cmp. Expressions are immutable once
+// built; all rewriting returns new nodes.
+type Expr interface {
+	// Kind returns the sort of the expression.
+	Kind() Kind
+	// appendString writes the canonical rendering (also the memoisation key).
+	appendString(b *strings.Builder)
+	// collectVars adds every variable occurrence to counts.
+	collectVars(counts map[string]int)
+}
+
+// Var is a variable symbol x ∈ X (a semiring expression).
+type Var struct{ Name string }
+
+// Const is a constant s ∈ S of the annotation semiring.
+type Const struct{ V value.V }
+
+// MConst is a constant m ∈ M of an aggregation monoid.
+type MConst struct{ V value.V }
+
+// Add is an n-ary semiring sum Φ1 + … + Φn.
+type Add struct{ Terms []Expr }
+
+// Mul is an n-ary semiring product Φ1 · … · Φn.
+type Mul struct{ Factors []Expr }
+
+// Tensor is the semimodule scalar action Φ ⊗ α: Scalar is a semiring
+// expression, Mod a semimodule expression (usually an MConst), and Agg
+// names the monoid whose action applies.
+type Tensor struct {
+	Agg    algebra.Agg
+	Scalar Expr
+	Mod    Expr
+}
+
+// AggSum is the monoid sum α1 +op … +op αn over the monoid named by Agg.
+type AggSum struct {
+	Agg   algebra.Agg
+	Terms []Expr
+}
+
+// Cmp is the conditional expression [L θ R]. Both sides must have the same
+// Kind (two semiring or two semimodule expressions); the result is a
+// semiring expression evaluating to 1S or 0S (paper Eq. (2)).
+type Cmp struct {
+	Th   value.Theta
+	L, R Expr
+}
+
+// Kind implementations.
+
+func (Var) Kind() Kind    { return KindSemiring }
+func (Const) Kind() Kind  { return KindSemiring }
+func (MConst) Kind() Kind { return KindModule }
+func (Add) Kind() Kind    { return KindSemiring }
+func (Mul) Kind() Kind    { return KindSemiring }
+func (Tensor) Kind() Kind { return KindModule }
+func (AggSum) Kind() Kind { return KindModule }
+func (Cmp) Kind() Kind    { return KindSemiring }
+
+// Convenience constructors.
+
+// V returns the variable named x.
+func V(x string) Var { return Var{x} }
+
+// CInt returns the semiring integer constant n.
+func CInt(n int64) Const { return Const{value.Int(n)} }
+
+// CBool returns the semiring Boolean constant.
+func CBool(b bool) Const { return Const{value.Bool(b)} }
+
+// MInt returns the monoid integer constant n.
+func MInt(n int64) MConst { return MConst{value.Int(n)} }
+
+// Sum builds a flattened semiring sum of the given terms.
+func Sum(terms ...Expr) Expr {
+	flat := make([]Expr, 0, len(terms))
+	for _, t := range terms {
+		if a, ok := t.(Add); ok {
+			flat = append(flat, a.Terms...)
+		} else {
+			flat = append(flat, t)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Add{flat}
+}
+
+// Product builds a flattened semiring product of the given factors.
+func Product(factors ...Expr) Expr {
+	flat := make([]Expr, 0, len(factors))
+	for _, f := range factors {
+		if m, ok := f.(Mul); ok {
+			flat = append(flat, m.Factors...)
+		} else {
+			flat = append(flat, f)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Mul{flat}
+}
+
+// Scale builds Φ ⊗ m for monoid agg.
+func Scale(agg algebra.Agg, scalar Expr, m value.V) Tensor {
+	return Tensor{agg, scalar, MConst{m}}
+}
+
+// MSum builds a flattened monoid sum over agg.
+func MSum(agg algebra.Agg, terms ...Expr) Expr {
+	flat := make([]Expr, 0, len(terms))
+	for _, t := range terms {
+		if a, ok := t.(AggSum); ok && a.Agg == agg {
+			flat = append(flat, a.Terms...)
+		} else {
+			flat = append(flat, t)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return AggSum{agg, flat}
+}
+
+// Compare builds the conditional expression [l θ r].
+func Compare(th value.Theta, l, r Expr) Cmp { return Cmp{th, l, r} }
+
+// Validate checks well-formedness: sort correctness of all sub-expressions
+// and monoid consistency inside semimodule sums. It returns the first
+// violation found.
+func Validate(e Expr) error {
+	switch n := e.(type) {
+	case Var, Const, MConst:
+		return nil
+	case Add:
+		if len(n.Terms) == 0 {
+			return fmt.Errorf("expr: empty semiring sum")
+		}
+		for _, t := range n.Terms {
+			if t.Kind() != KindSemiring {
+				return fmt.Errorf("expr: semiring sum over module term %s", String(t))
+			}
+			if err := Validate(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Mul:
+		if len(n.Factors) == 0 {
+			return fmt.Errorf("expr: empty semiring product")
+		}
+		for _, f := range n.Factors {
+			if f.Kind() != KindSemiring {
+				return fmt.Errorf("expr: semiring product over module factor %s", String(f))
+			}
+			if err := Validate(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Tensor:
+		if n.Scalar.Kind() != KindSemiring {
+			return fmt.Errorf("expr: tensor scalar %s is not a semiring expression", String(n.Scalar))
+		}
+		if n.Mod.Kind() != KindModule {
+			return fmt.Errorf("expr: tensor module side %s is not a module expression", String(n.Mod))
+		}
+		if err := checkAgg(n.Mod, n.Agg); err != nil {
+			return err
+		}
+		if err := Validate(n.Scalar); err != nil {
+			return err
+		}
+		return Validate(n.Mod)
+	case AggSum:
+		if len(n.Terms) == 0 {
+			return fmt.Errorf("expr: empty %v sum", n.Agg)
+		}
+		for _, t := range n.Terms {
+			if t.Kind() != KindModule {
+				return fmt.Errorf("expr: %v sum over semiring term %s", n.Agg, String(t))
+			}
+			if err := checkAgg(t, n.Agg); err != nil {
+				return err
+			}
+			if err := Validate(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Cmp:
+		if n.L.Kind() != n.R.Kind() {
+			return fmt.Errorf("expr: comparison of %v against %v expression", n.L.Kind(), n.R.Kind())
+		}
+		if err := Validate(n.L); err != nil {
+			return err
+		}
+		return Validate(n.R)
+	default:
+		return fmt.Errorf("expr: unknown node %T", e)
+	}
+}
+
+// checkAgg verifies that a module expression uses monoid agg throughout.
+func checkAgg(e Expr, agg algebra.Agg) error {
+	switch n := e.(type) {
+	case MConst:
+		return nil
+	case Tensor:
+		if !sameMonoid(n.Agg, agg) {
+			return fmt.Errorf("expr: monoid mismatch: %v inside %v context", n.Agg, agg)
+		}
+		return nil
+	case AggSum:
+		if !sameMonoid(n.Agg, agg) {
+			return fmt.Errorf("expr: monoid mismatch: %v sum inside %v context", n.Agg, agg)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// sameMonoid treats COUNT and SUM as the same monoid (COUNT is SUM over
+// unit weights, paper Figure 4).
+func sameMonoid(a, b algebra.Agg) bool {
+	norm := func(x algebra.Agg) algebra.Agg {
+		if x == algebra.Count {
+			return algebra.Sum
+		}
+		return x
+	}
+	return norm(a) == norm(b)
+}
+
+// Vars returns the set of variables occurring in e, sorted by name.
+func Vars(e Expr) []string {
+	counts := map[string]int{}
+	e.collectVars(counts)
+	out := make([]string, 0, len(counts))
+	for x := range counts {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VarCounts returns the number of occurrences of each variable in e, the
+// statistic behind the Shannon-expansion heuristic ("choose a variable with
+// most occurrences", Section 5).
+func VarCounts(e Expr) map[string]int {
+	counts := map[string]int{}
+	e.collectVars(counts)
+	return counts
+}
+
+// HasVars reports whether e contains at least one variable.
+func HasVars(e Expr) bool {
+	switch n := e.(type) {
+	case Var:
+		return true
+	case Const, MConst:
+		return false
+	case Add:
+		for _, t := range n.Terms {
+			if HasVars(t) {
+				return true
+			}
+		}
+		return false
+	case Mul:
+		for _, f := range n.Factors {
+			if HasVars(f) {
+				return true
+			}
+		}
+		return false
+	case Tensor:
+		return HasVars(n.Scalar) || HasVars(n.Mod)
+	case AggSum:
+		for _, t := range n.Terms {
+			if HasVars(t) {
+				return true
+			}
+		}
+		return false
+	case Cmp:
+		return HasVars(n.L) || HasVars(n.R)
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+func (v Var) collectVars(c map[string]int) { c[v.Name]++ }
+func (Const) collectVars(map[string]int)   {}
+func (MConst) collectVars(map[string]int)  {}
+func (a Add) collectVars(c map[string]int) {
+	for _, t := range a.Terms {
+		t.collectVars(c)
+	}
+}
+func (m Mul) collectVars(c map[string]int) {
+	for _, f := range m.Factors {
+		f.collectVars(c)
+	}
+}
+func (t Tensor) collectVars(c map[string]int) {
+	t.Scalar.collectVars(c)
+	t.Mod.collectVars(c)
+}
+func (a AggSum) collectVars(c map[string]int) {
+	for _, t := range a.Terms {
+		t.collectVars(c)
+	}
+}
+func (cm Cmp) collectVars(c map[string]int) {
+	cm.L.collectVars(c)
+	cm.R.collectVars(c)
+}
+
+// String renders e in the concrete syntax accepted by Parse. The rendering
+// is canonical for structurally equal expressions and doubles as the
+// memoisation key during compilation.
+func String(e Expr) string {
+	var b strings.Builder
+	e.appendString(&b)
+	return b.String()
+}
+
+func (v Var) appendString(b *strings.Builder)   { b.WriteString(v.Name) }
+func (c Const) appendString(b *strings.Builder) { b.WriteString(c.V.String()) }
+func (m MConst) appendString(b *strings.Builder) {
+	b.WriteString("m:")
+	b.WriteString(m.V.String())
+}
+
+func (a Add) appendString(b *strings.Builder) {
+	b.WriteByte('(')
+	for i, t := range a.Terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		t.appendString(b)
+	}
+	b.WriteByte(')')
+}
+
+func (m Mul) appendString(b *strings.Builder) {
+	b.WriteByte('(')
+	for i, f := range m.Factors {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		f.appendString(b)
+	}
+	b.WriteByte(')')
+}
+
+func (t Tensor) appendString(b *strings.Builder) {
+	b.WriteByte('(')
+	t.Scalar.appendString(b)
+	b.WriteString(" @")
+	b.WriteString(strings.ToLower(t.Agg.String()))
+	b.WriteByte(' ')
+	t.Mod.appendString(b)
+	b.WriteByte(')')
+}
+
+func (a AggSum) appendString(b *strings.Builder) {
+	b.WriteString(strings.ToLower(a.Agg.String()))
+	b.WriteByte('(')
+	for i, t := range a.Terms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		t.appendString(b)
+	}
+	b.WriteByte(')')
+}
+
+func (c Cmp) appendString(b *strings.Builder) {
+	b.WriteByte('[')
+	c.L.appendString(b)
+	b.WriteByte(' ')
+	b.WriteString(c.Th.String())
+	b.WriteByte(' ')
+	c.R.appendString(b)
+	b.WriteByte(']')
+}

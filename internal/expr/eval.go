@@ -1,0 +1,299 @@
+package expr
+
+import (
+	"fmt"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/value"
+)
+
+// Valuation is a total assignment ν : X → S of semiring values to
+// variables, one sample point of the probability space Ω (Definition 1).
+type Valuation map[string]value.V
+
+// Eval applies the semiring (and monoid) homomorphism induced by ν
+// (Section 3, "Semiring, Monoid, and Semimodule Homomorphism"): variables
+// are replaced by their values, + and · become the semiring operations of
+// s, semimodule sums become monoid operations, ⊗ becomes the scalar
+// action, and conditional expressions evaluate to 1S or 0S per Eq. (2).
+// Unbound variables are an error.
+func Eval(e Expr, nu Valuation, s algebra.Semiring) (value.V, error) {
+	switch n := e.(type) {
+	case Var:
+		v, ok := nu[n.Name]
+		if !ok {
+			return value.V{}, fmt.Errorf("expr: unbound variable %q", n.Name)
+		}
+		return s.Normalise(v), nil
+	case Const:
+		return s.Normalise(n.V), nil
+	case MConst:
+		return n.V, nil
+	case Add:
+		acc := s.Zero()
+		for _, t := range n.Terms {
+			v, err := Eval(t, nu, s)
+			if err != nil {
+				return value.V{}, err
+			}
+			acc = s.Add(acc, v)
+		}
+		return acc, nil
+	case Mul:
+		acc := s.One()
+		for _, f := range n.Factors {
+			v, err := Eval(f, nu, s)
+			if err != nil {
+				return value.V{}, err
+			}
+			acc = s.Mul(acc, v)
+		}
+		return acc, nil
+	case Tensor:
+		sv, err := Eval(n.Scalar, nu, s)
+		if err != nil {
+			return value.V{}, err
+		}
+		mv, err := Eval(n.Mod, nu, s)
+		if err != nil {
+			return value.V{}, err
+		}
+		return algebra.Action(s, algebra.MonoidFor(n.Agg), sv, mv), nil
+	case AggSum:
+		mo := algebra.MonoidFor(n.Agg)
+		acc := mo.Neutral()
+		for _, t := range n.Terms {
+			v, err := Eval(t, nu, s)
+			if err != nil {
+				return value.V{}, err
+			}
+			acc = mo.Combine(acc, v)
+		}
+		return acc, nil
+	case Cmp:
+		l, err := Eval(n.L, nu, s)
+		if err != nil {
+			return value.V{}, err
+		}
+		r, err := Eval(n.R, nu, s)
+		if err != nil {
+			return value.V{}, err
+		}
+		if n.Th.Apply(l, r) {
+			return s.One(), nil
+		}
+		return s.Zero(), nil
+	default:
+		return value.V{}, fmt.Errorf("expr: unknown node %T", e)
+	}
+}
+
+// MustEval is Eval for expressions known to be closed and well-formed.
+func MustEval(e Expr, nu Valuation, s algebra.Semiring) value.V {
+	v, err := Eval(e, nu, s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Subst returns e with every occurrence of variable x replaced by the
+// semiring constant v (the Φ|x←v of Eq. (10)). Sub-expressions without x
+// are shared, not copied.
+func Subst(e Expr, x string, v value.V) Expr {
+	switch n := e.(type) {
+	case Var:
+		if n.Name == x {
+			return Const{v}
+		}
+		return n
+	case Const, MConst:
+		return n
+	case Add:
+		return Add{substAll(n.Terms, x, v)}
+	case Mul:
+		return Mul{substAll(n.Factors, x, v)}
+	case Tensor:
+		return Tensor{n.Agg, Subst(n.Scalar, x, v), Subst(n.Mod, x, v)}
+	case AggSum:
+		return AggSum{n.Agg, substAll(n.Terms, x, v)}
+	case Cmp:
+		return Cmp{n.Th, Subst(n.L, x, v), Subst(n.R, x, v)}
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+func substAll(es []Expr, x string, v value.V) []Expr {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = Subst(e, x, v)
+	}
+	return out
+}
+
+// Simplify performs semiring-aware normalisation: flattening of nested
+// sums/products, constant folding, and the unit laws 0+Φ = Φ, 1·Φ = Φ,
+// 0·Φ = 0, 0S⊗m = 0M, 1S⊗m = m, 0M +M α = α. Simplification preserves the
+// distribution of the expression under any valuation into s. It is applied
+// after every Shannon substitution during compilation.
+func Simplify(e Expr, s algebra.Semiring) Expr {
+	switch n := e.(type) {
+	case Var, Const, MConst:
+		return e
+	case Add:
+		terms := make([]Expr, 0, len(n.Terms))
+		acc := s.Zero()
+		hasConst := false
+		for _, t := range n.Terms {
+			t = Simplify(t, s)
+			if a, ok := t.(Add); ok {
+				for _, tt := range a.Terms {
+					if c, ok := tt.(Const); ok {
+						acc = s.Add(acc, c.V)
+						hasConst = true
+					} else {
+						terms = append(terms, tt)
+					}
+				}
+				continue
+			}
+			if c, ok := t.(Const); ok {
+				acc = s.Add(acc, c.V)
+				hasConst = true
+				continue
+			}
+			terms = append(terms, t)
+		}
+		if hasConst && !acc.IsZero() {
+			terms = append(terms, Const{acc})
+		}
+		if len(terms) == 0 {
+			return Const{s.Zero()}
+		}
+		if len(terms) == 1 {
+			return terms[0]
+		}
+		return Add{terms}
+	case Mul:
+		factors := make([]Expr, 0, len(n.Factors))
+		acc := s.One()
+		hasConst := false
+		for _, f := range n.Factors {
+			f = Simplify(f, s)
+			if m, ok := f.(Mul); ok {
+				for _, ff := range m.Factors {
+					if c, ok := ff.(Const); ok {
+						acc = s.Mul(acc, c.V)
+						hasConst = true
+					} else {
+						factors = append(factors, ff)
+					}
+				}
+				continue
+			}
+			if c, ok := f.(Const); ok {
+				acc = s.Mul(acc, c.V)
+				hasConst = true
+				continue
+			}
+			factors = append(factors, f)
+		}
+		if acc == s.Zero() && hasConst {
+			return Const{s.Zero()}
+		}
+		if hasConst && !acc.IsOne() {
+			factors = append(factors, Const{acc})
+		}
+		if len(factors) == 0 {
+			return Const{s.One()}
+		}
+		if len(factors) == 1 {
+			return factors[0]
+		}
+		return Mul{factors}
+	case Tensor:
+		mo := algebra.MonoidFor(n.Agg)
+		sc := Simplify(n.Scalar, s)
+		mod := Simplify(n.Mod, s)
+		if c, ok := sc.(Const); ok {
+			if c.V == s.Zero() {
+				return MConst{mo.Neutral()}
+			}
+			if mc, ok := mod.(MConst); ok {
+				return MConst{algebra.Action(s, mo, c.V, mc.V)}
+			}
+			if c.V == s.One() {
+				return mod
+			}
+		}
+		if mc, ok := mod.(MConst); ok && mc.V == mo.Neutral() {
+			return MConst{mo.Neutral()}
+		}
+		// (Φ1·…) ⊗ (Ψ ⊗ α) nests flatten via the (s1·s2)⊗m law.
+		if inner, ok := mod.(Tensor); ok && sameMonoid(inner.Agg, n.Agg) {
+			return Simplify(Tensor{n.Agg, Product(sc, inner.Scalar), inner.Mod}, s)
+		}
+		return Tensor{n.Agg, sc, mod}
+	case AggSum:
+		mo := algebra.MonoidFor(n.Agg)
+		terms := make([]Expr, 0, len(n.Terms))
+		acc := mo.Neutral()
+		hasConst := false
+		for _, t := range n.Terms {
+			t = Simplify(t, s)
+			if a, ok := t.(AggSum); ok && sameMonoid(a.Agg, n.Agg) {
+				for _, tt := range a.Terms {
+					if c, ok := tt.(MConst); ok {
+						acc = mo.Combine(acc, c.V)
+						hasConst = true
+					} else {
+						terms = append(terms, tt)
+					}
+				}
+				continue
+			}
+			if c, ok := t.(MConst); ok {
+				acc = mo.Combine(acc, c.V)
+				hasConst = true
+				continue
+			}
+			terms = append(terms, t)
+		}
+		if hasConst && acc != mo.Neutral() {
+			terms = append(terms, MConst{acc})
+		}
+		if len(terms) == 0 {
+			return MConst{mo.Neutral()}
+		}
+		if len(terms) == 1 {
+			return terms[0]
+		}
+		return AggSum{n.Agg, terms}
+	case Cmp:
+		l := Simplify(n.L, s)
+		r := Simplify(n.R, s)
+		lc, lok := constValue(l)
+		rc, rok := constValue(r)
+		if lok && rok {
+			if n.Th.Apply(lc, rc) {
+				return Const{s.One()}
+			}
+			return Const{s.Zero()}
+		}
+		return Cmp{n.Th, l, r}
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+func constValue(e Expr) (value.V, bool) {
+	switch n := e.(type) {
+	case Const:
+		return n.V, true
+	case MConst:
+		return n.V, true
+	default:
+		return value.V{}, false
+	}
+}

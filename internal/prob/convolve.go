@@ -1,0 +1,142 @@
+package prob
+
+import (
+	"pvcagg/internal/value"
+)
+
+// This file implements Proposition 1 and its instantiations Eqs. (4)–(10):
+// the distribution of x • y for *independent* random variables x, y is the
+// convolution of their distributions with respect to •. All operations run
+// in time linear in the product of the input sizes (Theorem 2's per-node
+// cost), optionally capping output values to bound the result size (the
+// pruning optimisation of Section 5).
+
+// Op is a binary operation on carrier values used as the • of Prop. 1.
+type Op func(a, b value.V) value.V
+
+// Convolve computes the distribution of a • b for independent a, b
+// (Eq. (1)). The cap, if non-nil, maps output values to a canonical
+// representative (see Cap); it must be the identity on values the caller
+// still distinguishes.
+func Convolve(a, b Dist, op Op, cap *Cap) Dist {
+	m := make(map[value.V]float64, a.Size()+b.Size())
+	for _, pa := range a.pairs {
+		for _, pb := range b.pairs {
+			v := op(pa.V, pb.V).Key()
+			if cap != nil {
+				v = cap.clamp(v)
+			}
+			m[v] += pa.P * pb.P
+		}
+	}
+	return fromMap(m)
+}
+
+// Map applies a unary function to the values of d, merging collisions.
+func Map(d Dist, f func(value.V) value.V) Dist {
+	m := make(map[value.V]float64, d.Size())
+	for _, p := range d.pairs {
+		m[f(p.V).Key()] += p.P
+	}
+	return fromMap(m)
+}
+
+// Mixture computes Eq. (10): the distribution of a ⊔-node, i.e. the
+// weighted sum Σ_i w_i · d_i of mutually exclusive branch distributions.
+// Weights must be non-negative; for an exhaustive ⊔ they sum to 1.
+func Mixture(branches []Dist, weights []float64) Dist {
+	if len(branches) != len(weights) {
+		panic("prob: Mixture branch/weight length mismatch")
+	}
+	m := make(map[value.V]float64)
+	for i, d := range branches {
+		w := weights[i]
+		if w < 0 {
+			panic("prob: negative mixture weight")
+		}
+		for _, p := range d.pairs {
+			m[p.V] += w * p.P
+		}
+	}
+	return fromMap(m)
+}
+
+// CmpConvolve computes Eqs. (8)/(9): the Boolean-semiring distribution of
+// the conditional expression [a θ b] for independent a and b.
+func CmpConvolve(a, b Dist, th value.Theta) Dist {
+	pTrue := 0.0
+	pAll := 0.0
+	for _, pa := range a.pairs {
+		for _, pb := range b.pairs {
+			w := pa.P * pb.P
+			pAll += w
+			if th.Apply(pa.V, pb.V) {
+				pTrue += w
+			}
+		}
+	}
+	return FromPairs([]Pair{{value.Bool(true), pTrue}, {value.Bool(false), pAll - pTrue}})
+}
+
+// Cap implements the distribution-size bounding described in Section 5
+// ("Pruning Conditional Expressions"): when a semimodule expression is
+// compared against a constant c, all values on the far side of the decision
+// threshold are equivalent, so they may be collapsed into one overflow
+// bucket during convolution. This keeps SUM/COUNT distributions at most
+// c+2 entries (Proposition 3's m-bounded tractability in practice).
+//
+// Soundness: for θ ∈ {≤, <, =} against constant c, every value v > c
+// satisfies the comparison identically (false), so mapping v to the
+// canonical overflow value c+1 preserves the comparison's distribution.
+// Symmetrically for {≥, >} below c. Monotone ops (+ for SUM, min/max)
+// cannot bring an overflowed value back across the threshold, which is why
+// capping may be applied at every intermediate node: once above c, a SUM
+// can only grow (values are non-negative monoid values by assumption).
+type Cap struct {
+	// Above, if set, collapses values > Limit to Limit+1.
+	Above bool
+	// Below, if set, collapses values < Limit to Limit−1.
+	Below bool
+	Limit value.V
+}
+
+// CapForComparison returns the value cap that may be applied to the left
+// operand of [α θ c] when α is built from non-negative terms by a monotone
+// non-decreasing monoid (SUM, COUNT, MIN, MAX). Returns nil when no cap is
+// sound (e.g. infinite or non-finite limits).
+func CapForComparison(th value.Theta, c value.V) *Cap {
+	if !c.IsInt() {
+		return nil
+	}
+	switch th {
+	case value.LE, value.LT, value.EQ:
+		return &Cap{Above: true, Limit: c}
+	case value.GE, value.GT:
+		return &Cap{Below: false, Above: true, Limit: c}
+	case value.NE:
+		return &Cap{Above: true, Limit: c}
+	default:
+		return nil
+	}
+}
+
+func (c *Cap) clamp(v value.V) value.V {
+	if c == nil {
+		return v
+	}
+	if c.Above && c.Limit.Less(v) && v.IsInt() {
+		return value.Int(c.Limit.Int64() + 1)
+	}
+	if c.Below && v.Less(c.Limit) && v.IsInt() {
+		return value.Int(c.Limit.Int64() - 1)
+	}
+	return v
+}
+
+// Clamp applies the cap to every value of d.
+func (c *Cap) Clamp(d Dist) Dist {
+	if c == nil {
+		return d
+	}
+	return Map(d, c.clamp)
+}

@@ -1,0 +1,226 @@
+// Package pvc implements pvc-tables (probabilistic value-conditioned
+// tables, paper Definition 6): relations whose tuples carry a semiring
+// annotation Φ and whose values are constants or semimodule expressions.
+// A pvc-database is a set of pvc-tables over one probability space; its
+// semantics is the set of possible worlds obtained by valuating the
+// variables (paper Section 3).
+package pvc
+
+import (
+	"fmt"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/value"
+)
+
+// CellKind distinguishes the three kinds of tuple values.
+type CellKind int
+
+const (
+	// KindValue is an integer (or ±∞) constant.
+	KindValue CellKind = iota
+	// KindString is a string constant (shop names, flags, …).
+	KindString
+	// KindExpr is a semimodule expression — an aggregation value.
+	KindExpr
+)
+
+// Cell is one tuple value.
+type Cell struct {
+	kind CellKind
+	v    value.V
+	s    string
+	e    expr.Expr
+}
+
+// ValueCell returns a numeric constant cell.
+func ValueCell(v value.V) Cell { return Cell{kind: KindValue, v: v} }
+
+// IntCell returns the integer constant cell n.
+func IntCell(n int64) Cell { return ValueCell(value.Int(n)) }
+
+// StringCell returns a string constant cell.
+func StringCell(s string) Cell { return Cell{kind: KindString, s: s} }
+
+// ExprCell returns a cell holding the semimodule expression e.
+func ExprCell(e expr.Expr) Cell {
+	if e.Kind() != expr.KindModule {
+		panic(fmt.Sprintf("pvc: ExprCell of non-module expression %s", expr.String(e)))
+	}
+	return Cell{kind: KindExpr, e: e}
+}
+
+// Kind returns the cell's kind.
+func (c Cell) Kind() CellKind { return c.kind }
+
+// Value returns the numeric constant; it panics for other kinds.
+func (c Cell) Value() value.V {
+	if c.kind != KindValue {
+		panic("pvc: Value of non-numeric cell")
+	}
+	return c.v
+}
+
+// Str returns the string constant; it panics for other kinds.
+func (c Cell) Str() string {
+	if c.kind != KindString {
+		panic("pvc: Str of non-string cell")
+	}
+	return c.s
+}
+
+// Expr returns the semimodule expression; it panics for other kinds.
+func (c Cell) Expr() expr.Expr {
+	if c.kind != KindExpr {
+		panic("pvc: Expr of non-expression cell")
+	}
+	return c.e
+}
+
+// IsConst reports whether the cell is a constant (numeric or string).
+func (c Cell) IsConst() bool { return c.kind != KindExpr }
+
+// Key returns a canonical string usable for grouping constant cells; for
+// expression cells it is the canonical expression rendering.
+func (c Cell) Key() string {
+	switch c.kind {
+	case KindValue:
+		return "v:" + c.v.String()
+	case KindString:
+		return "s:" + c.s
+	default:
+		return "e:" + expr.String(c.e)
+	}
+}
+
+// String renders the cell for display.
+func (c Cell) String() string {
+	switch c.kind {
+	case KindValue:
+		return c.v.String()
+	case KindString:
+		return c.s
+	default:
+		return expr.String(c.e)
+	}
+}
+
+// Equal reports deep equality of two cells.
+func (c Cell) Equal(o Cell) bool { return c.kind == o.kind && c.Key() == o.Key() }
+
+// Compare orders two cells of the same kind: numerically for values,
+// lexicographically for strings (and for the rendering of expressions).
+func (c Cell) Compare(o Cell) int {
+	if c.kind != o.kind {
+		if c.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	if c.kind == KindValue {
+		return c.v.Cmp(o.v)
+	}
+	a, b := c.Key(), o.Key()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ColType is the declared type of a column.
+type ColType int
+
+const (
+	// TValue is a numeric column.
+	TValue ColType = iota
+	// TString is a string column.
+	TString
+	// TModule is an aggregation column holding semimodule expressions
+	// over the monoid Agg of its Col.
+	TModule
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TValue:
+		return "value"
+	case TString:
+		return "string"
+	default:
+		return "module"
+	}
+}
+
+// Col is a column declaration.
+type Col struct {
+	Name string
+	Type ColType
+	// Agg names the aggregation monoid for TModule columns.
+	Agg algebra.Agg
+}
+
+// Schema is an ordered list of columns.
+type Schema []Col
+
+// Index returns the position of the named column, or −1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two schemas have the same columns in order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCell verifies that a cell matches the column type.
+func (c Col) CheckCell(cell Cell) error {
+	switch c.Type {
+	case TValue:
+		if cell.Kind() != KindValue {
+			return fmt.Errorf("pvc: column %s expects a value, got %s", c.Name, cell)
+		}
+	case TString:
+		if cell.Kind() != KindString {
+			return fmt.Errorf("pvc: column %s expects a string, got %s", c.Name, cell)
+		}
+	case TModule:
+		if cell.Kind() == KindString {
+			return fmt.Errorf("pvc: column %s expects a module expression, got string %s", c.Name, cell)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package tpch
+
+import (
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// Q1 is the paper's TPC-H Q1 variant: "the amount of business that was
+// billed, shipped, and returned", grouped by return flag and line status,
+// selecting only the COUNT aggregate (Section 7.2):
+//
+//	SELECT l_returnflag, l_linestatus, COUNT(*)
+//	FROM lineitem WHERE l_shipdate <= cutoff
+//	GROUP BY l_returnflag, l_linestatus
+func Q1(shipdateCutoff int64) engine.Plan {
+	return &engine.GroupAgg{
+		Input: &engine.Select{
+			Input: &engine.Scan{Table: "lineitem"},
+			Pred:  engine.Where(engine.ColTheta("l_shipdate", value.LE, pvc.IntCell(shipdateCutoff))),
+		},
+		GroupBy: []string{"l_returnflag", "l_linestatus"},
+		Aggs:    []engine.AggSpec{{Out: "count_order", Agg: algebra.Count}},
+	}
+}
+
+// Q2 is the paper's TPC-H Q2 variant: a join of five relations with a
+// nested aggregation query, asking for the suppliers with minimum supply
+// cost for a given part in a given region (Section 7.2):
+//
+//	SELECT s_name FROM part, supplier, partsupp, nation, region
+//	WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+//	  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+//	  AND p_partkey = :part AND r_name = :region
+//	  AND ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp,
+//	       supplier, nation, region WHERE ps_partkey = :part AND …)
+func Q2(partKey int64, regionName string) engine.Plan {
+	// The inner block aggregates the same join; its only output column is
+	// the nested MIN, so no renaming is needed for the outer product.
+	inner := &engine.GroupAgg{
+		Input: supplierRegionJoin(partKey, regionName),
+		Aggs:  []engine.AggSpec{{Out: "mincost", Agg: algebra.Min, Over: "ps_supplycost"}},
+	}
+	outer := &engine.Join{L: &engine.Scan{Table: "part"}, R: supplierRegionJoin(partKey, regionName)}
+	return &engine.Project{
+		Cols: []string{"s_name"},
+		Input: &engine.Select{
+			Pred:  engine.Where(engine.ColThetaCol("ps_supplycost", value.EQ, "mincost")),
+			Input: &engine.Product{L: outer, R: inner},
+		},
+	}
+}
+
+// supplierRegionJoin is partsupp ⋈ supplier ⋈ nation ⋈ region restricted
+// to one part key and one region name. Key columns are renamed so the
+// joins are natural.
+func supplierRegionJoin(partKey int64, regionName string) engine.Plan {
+	ps := &engine.Rename{
+		Input: &engine.Rename{Input: &engine.Scan{Table: "partsupp"}, From: "ps_partkey", To: "p_partkey"},
+		From:  "ps_suppkey", To: "s_suppkey",
+	}
+	nat := &engine.Rename{Input: &engine.Scan{Table: "nation"}, From: "n_nationkey", To: "s_nationkey"}
+	reg := &engine.Rename{Input: &engine.Scan{Table: "region"}, From: "r_regionkey", To: "n_regionkey"}
+	join := &engine.Join{
+		L: &engine.Join{
+			L: &engine.Join{L: ps, R: &engine.Scan{Table: "supplier"}},
+			R: nat,
+		},
+		R: reg,
+	}
+	return &engine.Select{
+		Input: join,
+		Pred: engine.Where(
+			engine.ColTheta("p_partkey", value.EQ, pvc.IntCell(partKey)),
+			engine.ColTheta("r_name", value.EQ, pvc.StringCell(regionName)),
+		),
+	}
+}

@@ -1,0 +1,252 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 42, math.MaxInt64, math.MinInt64} {
+		v := Int(n)
+		if !v.IsInt() {
+			t.Fatalf("Int(%d).IsInt() = false", n)
+		}
+		if got := v.Int64(); got != n {
+			t.Fatalf("Int(%d).Int64() = %d", n, got)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true) != Int(1) {
+		t.Errorf("Bool(true) != Int(1)")
+	}
+	if Bool(false) != Int(0) {
+		t.Errorf("Bool(false) != Int(0)")
+	}
+	if !Bool(true).Truth() || Bool(false).Truth() {
+		t.Errorf("Truth embedding broken")
+	}
+	if !PosInf().Truth() || !NegInf().Truth() {
+		t.Errorf("infinities must be truthy")
+	}
+}
+
+func TestInfinityPredicates(t *testing.T) {
+	if !PosInf().IsPosInf() || PosInf().IsNegInf() || PosInf().IsInt() {
+		t.Errorf("PosInf predicates wrong")
+	}
+	if !NegInf().IsNegInf() || NegInf().IsPosInf() || NegInf().IsInt() {
+		t.Errorf("NegInf predicates wrong")
+	}
+}
+
+func TestInt64PanicsOnInfinity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Int64 on +inf did not panic")
+		}
+	}()
+	_ = PosInf().Int64()
+}
+
+func TestCmpTotalOrder(t *testing.T) {
+	order := []V{NegInf(), Int(math.MinInt64), Int(-5), Int(0), Int(7), Int(math.MaxInt64), PosInf()}
+	for i, a := range order {
+		for j, b := range order {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := a.Cmp(b); got != want {
+				t.Errorf("Cmp(%v, %v) = %d, want %d", a, b, got, want)
+			}
+			if got := a.Less(b); got != (want < 0) {
+				t.Errorf("Less(%v, %v) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Int(2), Int(3), Int(5)},
+		{Int(-2), Int(3), Int(1)},
+		{PosInf(), Int(3), PosInf()},
+		{Int(3), PosInf(), PosInf()},
+		{NegInf(), Int(3), NegInf()},
+		{PosInf(), PosInf(), PosInf()},
+		{NegInf(), NegInf(), NegInf()},
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b); got != c.want {
+			t.Errorf("%v + %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddOppositeInfinitiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("+inf + -inf did not panic")
+		}
+	}()
+	_ = PosInf().Add(NegInf())
+}
+
+func TestMul(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Int(2), Int(3), Int(6)},
+		{Int(-2), Int(3), Int(-6)},
+		{Int(0), PosInf(), Int(0)},
+		{PosInf(), Int(0), Int(0)},
+		{PosInf(), Int(2), PosInf()},
+		{PosInf(), Int(-2), NegInf()},
+		{NegInf(), Int(-2), PosInf()},
+		{PosInf(), PosInf(), PosInf()},
+		{PosInf(), NegInf(), NegInf()},
+		{NegInf(), NegInf(), PosInf()},
+	}
+	for _, c := range cases {
+		if got := c.a.Mul(c.b); got != c.want {
+			t.Errorf("%v * %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if got := Int(3).Min(Int(5)); got != Int(3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Int(3).Max(Int(5)); got != Int(5) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := PosInf().Min(Int(5)); got != Int(5) {
+		t.Errorf("Min with +inf = %v", got)
+	}
+	if got := NegInf().Max(Int(5)); got != Int(5) {
+		t.Errorf("Max with -inf = %v", got)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if got := Int(4).Float(); got != 4 {
+		t.Errorf("Float = %v", got)
+	}
+	if !math.IsInf(PosInf().Float(), 1) || !math.IsInf(NegInf().Float(), -1) {
+		t.Errorf("infinite Float values wrong")
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, v := range []V{Int(0), Int(-3), Int(99), PosInf(), NegInf()} {
+		got, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Errorf("Parse(String(%v)) = %v", v, got)
+		}
+	}
+	if v, err := Parse("true"); err != nil || v != Int(1) {
+		t.Errorf("Parse(true) = %v, %v", v, err)
+	}
+	if v, err := Parse("false"); err != nil || v != Int(0) {
+		t.Errorf("Parse(false) = %v, %v", v, err)
+	}
+	if _, err := Parse("banana"); err == nil {
+		t.Errorf("Parse(banana) should fail")
+	}
+}
+
+func TestThetaApply(t *testing.T) {
+	cases := []struct {
+		th   Theta
+		a, b V
+		want bool
+	}{
+		{EQ, Int(3), Int(3), true},
+		{EQ, Int(3), Int(4), false},
+		{NE, Int(3), Int(4), true},
+		{LE, Int(3), Int(3), true},
+		{LE, Int(4), Int(3), false},
+		{GE, Int(4), Int(3), true},
+		{LT, Int(3), Int(4), true},
+		{LT, Int(3), Int(3), false},
+		{GT, Int(4), Int(3), true},
+		{LE, NegInf(), Int(-100), true},
+		{GE, PosInf(), Int(100), true},
+		{LT, NegInf(), PosInf(), true},
+	}
+	for _, c := range cases {
+		if got := c.th.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.th, c.b, got, c.want)
+		}
+	}
+}
+
+func TestThetaFlipNegate(t *testing.T) {
+	thetas := []Theta{EQ, NE, LE, GE, LT, GT}
+	vals := []V{NegInf(), Int(-2), Int(0), Int(2), PosInf()}
+	for _, th := range thetas {
+		for _, a := range vals {
+			for _, b := range vals {
+				if th.Apply(a, b) != th.Flip().Apply(b, a) {
+					t.Errorf("Flip broken for %v on (%v,%v)", th, a, b)
+				}
+				if th.Apply(a, b) == th.Negate().Apply(a, b) {
+					t.Errorf("Negate broken for %v on (%v,%v)", th, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestThetaParse(t *testing.T) {
+	for _, th := range []Theta{EQ, NE, LE, GE, LT, GT} {
+		got, err := ParseTheta(th.String())
+		if err != nil || got != th {
+			t.Errorf("ParseTheta(%q) = %v, %v", th.String(), got, err)
+		}
+	}
+	if _, err := ParseTheta("~"); err == nil {
+		t.Errorf("ParseTheta(~) should fail")
+	}
+}
+
+// Property: Add and Mul on finite values agree with int64 arithmetic, and
+// Cmp agrees with the integer order.
+func TestFiniteArithmeticProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Int(int64(a)), Int(int64(b))
+		if x.Add(y) != Int(int64(a)+int64(b)) {
+			return false
+		}
+		if x.Mul(y) != Int(int64(a)*int64(b)) {
+			return false
+		}
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return x.Cmp(y) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyNormalises(t *testing.T) {
+	a := V{posInf, 7} // internally denormalised
+	if a.Key() != PosInf() {
+		t.Errorf("Key did not normalise infinity payload")
+	}
+	if Int(5).Key() != Int(5) {
+		t.Errorf("Key changed finite value")
+	}
+}

@@ -1,0 +1,191 @@
+// Package vars implements the finite set X of independent S-valued random
+// variables that generates the probability space Ω of Definition 1, with
+// per-variable discrete distributions, world enumeration and sampling.
+package vars
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pvcagg/internal/expr"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/value"
+)
+
+// Registry maps variable names to their probability distributions. It is
+// the concrete X of the paper; all expressions over a registry share its
+// induced probability space.
+type Registry struct {
+	dists map[string]prob.Dist
+	order []string // insertion order, for deterministic enumeration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{dists: map[string]prob.Dist{}}
+}
+
+// Declare registers variable x with distribution d. Re-declaring a
+// variable replaces its distribution.
+func (r *Registry) Declare(x string, d prob.Dist) {
+	if d.Size() == 0 {
+		panic(fmt.Sprintf("vars: variable %q declared with empty distribution", x))
+	}
+	if _, ok := r.dists[x]; !ok {
+		r.order = append(r.order, x)
+	}
+	r.dists[x] = d
+}
+
+// DeclareBool registers a Boolean variable with P[⊤] = p.
+func (r *Registry) DeclareBool(x string, p float64) {
+	r.Declare(x, prob.Bernoulli(p))
+}
+
+// Dist returns the distribution of x.
+func (r *Registry) Dist(x string) (prob.Dist, error) {
+	d, ok := r.dists[x]
+	if !ok {
+		return prob.Dist{}, fmt.Errorf("vars: undeclared variable %q", x)
+	}
+	return d, nil
+}
+
+// MustDist is Dist for variables known to be declared.
+func (r *Registry) MustDist(x string) prob.Dist {
+	d, err := r.Dist(x)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Has reports whether x is declared.
+func (r *Registry) Has(x string) bool {
+	_, ok := r.dists[x]
+	return ok
+}
+
+// Names returns all declared variables in declaration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Len returns the number of declared variables.
+func (r *Registry) Len() int { return len(r.order) }
+
+// CheckDeclared verifies that every variable of e is declared.
+func (r *Registry) CheckDeclared(e expr.Expr) error {
+	for _, x := range expr.Vars(e) {
+		if !r.Has(x) {
+			return fmt.Errorf("vars: expression uses undeclared variable %q", x)
+		}
+	}
+	return nil
+}
+
+// Fresh returns a variable name of the form prefix#n that is not yet
+// declared, declares it with distribution d, and returns the name. It is
+// used by tuple-independent table constructors.
+func (r *Registry) Fresh(prefix string, d prob.Dist) string {
+	for i := len(r.order); ; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if !r.Has(name) {
+			r.Declare(name, d)
+			return name
+		}
+	}
+}
+
+// ReduceToBoolean returns a registry in which every variable distribution
+// is reduced to a Boolean one: P[⊥] = Px[0] and P[⊤] = 1 − Px[0]. This is
+// the reduction of Proposition 2 that preserves the distribution of
+// MIN/MAX semimodule expressions over N-valued variables.
+func (r *Registry) ReduceToBoolean() *Registry {
+	out := NewRegistry()
+	for _, x := range r.order {
+		d := r.dists[x]
+		p0 := d.P(value.Int(0))
+		out.Declare(x, prob.FromPairs([]prob.Pair{
+			{V: value.Bool(false), P: p0},
+			{V: value.Bool(true), P: 1 - p0},
+		}))
+	}
+	return out
+}
+
+// Enumerate calls f with every valuation ν ∈ Ω restricted to the given
+// variables, together with its probability Pr(ν) = Π Px[ν(x)]
+// (Definition 1). The number of worlds is the product of the support
+// sizes; callers are responsible for keeping it small. Variables are
+// enumerated in sorted order for determinism. Enumerate returns an error
+// for undeclared variables.
+func (r *Registry) Enumerate(variables []string, f func(nu expr.Valuation, p float64)) error {
+	vs := append([]string(nil), variables...)
+	sort.Strings(vs)
+	dists := make([]prob.Dist, len(vs))
+	for i, x := range vs {
+		d, err := r.Dist(x)
+		if err != nil {
+			return err
+		}
+		dists[i] = d
+	}
+	nu := expr.Valuation{}
+	var rec func(i int, p float64)
+	rec = func(i int, p float64) {
+		if i == len(vs) {
+			f(nu, p)
+			return
+		}
+		for _, pair := range dists[i].Pairs() {
+			nu[vs[i]] = pair.V
+			rec(i+1, p*pair.P)
+		}
+	}
+	rec(0, 1)
+	return nil
+}
+
+// Sample draws one valuation of the given variables using rng.
+func (r *Registry) Sample(variables []string, rng *rand.Rand) (expr.Valuation, error) {
+	nu := expr.Valuation{}
+	for _, x := range variables {
+		d, err := r.Dist(x)
+		if err != nil {
+			return nil, err
+		}
+		u := rng.Float64() * d.Mass()
+		acc := 0.0
+		pairs := d.Pairs()
+		nu[x] = pairs[len(pairs)-1].V
+		for _, p := range pairs {
+			acc += p.P
+			if u < acc {
+				nu[x] = p.V
+				break
+			}
+		}
+	}
+	return nu, nil
+}
+
+// WorldCount returns the number of possible worlds over the given
+// variables (the product of support sizes), saturating at maxInt.
+func (r *Registry) WorldCount(variables []string) int {
+	n := 1
+	for _, x := range variables {
+		d, ok := r.dists[x]
+		if !ok {
+			continue
+		}
+		n *= d.Size()
+		if n < 0 || n > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return n
+}

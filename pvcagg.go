@@ -1,0 +1,276 @@
+// Package pvcagg is a Go implementation of "Aggregation in Probabilistic
+// Databases via Knowledge Compilation" (Fink, Han, Olteanu, PVLDB 5(5),
+// 2012): pvc-tables as a representation system for probabilistic data with
+// aggregates, positive relational algebra with grouping/aggregation whose
+// results carry semiring and semimodule annotations, and exact probability
+// computation by compiling annotations into decomposition trees.
+//
+// The package is a facade over the internal implementation; everything a
+// downstream user needs is re-exported here:
+//
+//   - expression parsing and probability computation (ParseExpr,
+//     NewPipeline, Distribution);
+//   - pvc-databases and relations (NewDatabase, NewRelation, cells);
+//   - query plans (Scan, Select, Project, Join, Union, GroupAgg) and
+//     end-to-end evaluation (Run);
+//   - the Qind/Qhie tractability analysis (Classify);
+//   - the possible-worlds and Monte-Carlo baselines (Enumerate,
+//     MonteCarlo) for validation.
+//
+// Quick start:
+//
+//	reg := pvcagg.NewRegistry()
+//	reg.DeclareBool("x", 0.5)
+//	reg.DeclareBool("y", 0.5)
+//	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
+//	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
+//	d, _, _ := p.Distribution(e)
+//	fmt.Println(d) // {(0, 0.5), (1, 0.5)}
+package pvcagg
+
+import (
+	"math/rand"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/compile"
+	"pvcagg/internal/core"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/gen"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/tractable"
+	"pvcagg/internal/value"
+	"pvcagg/internal/vars"
+	"pvcagg/internal/worlds"
+)
+
+// Carrier values and comparisons.
+type (
+	// V is a carrier value: an exact integer extended with ±∞.
+	V = value.V
+	// Theta is a comparison operator (=, ≠, ≤, ≥, <, >).
+	Theta = value.Theta
+)
+
+// Value constructors and the six comparison operators.
+var (
+	Int    = value.Int
+	BoolV  = value.Bool
+	PosInf = value.PosInf
+	NegInf = value.NegInf
+)
+
+// Comparison operators.
+const (
+	EQ = value.EQ
+	NE = value.NE
+	LE = value.LE
+	GE = value.GE
+	LT = value.LT
+	GT = value.GT
+)
+
+// Algebraic structures.
+type (
+	// Agg names an aggregation monoid.
+	Agg = algebra.Agg
+	// SemiringKind selects the valuation semiring.
+	SemiringKind = algebra.SemiringKind
+)
+
+// Aggregation monoids and semirings.
+const (
+	SUM   = algebra.Sum
+	MIN   = algebra.Min
+	MAX   = algebra.Max
+	PROD  = algebra.Prod
+	COUNT = algebra.Count
+
+	Boolean = algebra.Boolean
+	Natural = algebra.Natural
+)
+
+// Expressions.
+type (
+	// Expr is a semiring, semimodule or conditional expression.
+	Expr = expr.Expr
+	// Valuation assigns values to variables (one possible world).
+	Valuation = expr.Valuation
+)
+
+// Expression constructors and utilities.
+var (
+	// ParseExpr parses the textual expression syntax, e.g.
+	// "[min(x*y @min 5, z @min 10) <= 7]".
+	ParseExpr = expr.Parse
+	// MustParseExpr is ParseExpr for known-good literals.
+	MustParseExpr = expr.MustParse
+	// ExprString renders an expression canonically.
+	ExprString = expr.String
+	// Vars lists the variables of an expression.
+	Vars = expr.Vars
+)
+
+// Probability distributions.
+type (
+	// Dist is a finite discrete probability distribution.
+	Dist = prob.Dist
+	// Pair is one (value, probability) entry of a Dist.
+	Pair = prob.Pair
+)
+
+// Distribution constructors.
+var (
+	DistOf    = prob.FromPairs
+	PointDist = prob.Point
+	Bernoulli = prob.Bernoulli
+)
+
+// Registry is the set X of independent random variables with their
+// distributions, inducing the probability space Ω.
+type Registry = vars.Registry
+
+// NewRegistry returns an empty variable registry.
+func NewRegistry() *Registry { return vars.NewRegistry() }
+
+// Pipeline compiles expressions to decomposition trees and computes exact
+// probability distributions (the paper's Section 5).
+type Pipeline = core.Pipeline
+
+// Report describes compilation and evaluation cost of one computation.
+type Report = core.Report
+
+// CompileOptions configure d-tree compilation (ablations and budgets).
+type CompileOptions = compile.Options
+
+// NewPipeline returns a Pipeline over the given semiring and registry.
+func NewPipeline(kind SemiringKind, reg *Registry) *Pipeline { return core.New(kind, reg) }
+
+// pvc-tables.
+type (
+	// Database is a pvc-database: named pvc-tables over one probability
+	// space.
+	Database = pvc.Database
+	// Relation is a pvc-table.
+	Relation = pvc.Relation
+	// Schema is an ordered list of columns.
+	Schema = pvc.Schema
+	// Col is a column declaration.
+	Col = pvc.Col
+	// Cell is one tuple value.
+	Cell = pvc.Cell
+	// Tuple is one annotated row.
+	Tuple = pvc.Tuple
+)
+
+// Column types.
+const (
+	TValue  = pvc.TValue
+	TString = pvc.TString
+	TModule = pvc.TModule
+)
+
+// Cell constructors.
+var (
+	IntCell    = pvc.IntCell
+	ValueCell  = pvc.ValueCell
+	StringCell = pvc.StringCell
+	ExprCell   = pvc.ExprCell
+)
+
+// NewDatabase returns an empty pvc-database over a fresh registry.
+func NewDatabase(kind SemiringKind) *Database { return pvc.NewDatabase(kind) }
+
+// NewRelation returns an empty pvc-table.
+func NewRelation(name string, schema Schema) *Relation { return pvc.NewRelation(name, schema) }
+
+// Query plans (the Q algebra of Definition 5).
+type (
+	Plan     = engine.Plan
+	Scan     = engine.Scan
+	Rename   = engine.Rename
+	Select   = engine.Select
+	Project  = engine.Project
+	Product  = engine.Product
+	Join     = engine.Join
+	Union    = engine.Union
+	GroupAgg = engine.GroupAgg
+	AggSpec  = engine.AggSpec
+	Pred     = engine.Pred
+	// TupleResult is the probabilistic interpretation of a result tuple.
+	TupleResult = engine.TupleResult
+	// RunTiming separates expression construction from probability
+	// computation.
+	RunTiming = engine.RunTiming
+)
+
+// Predicate builders.
+var (
+	Where       = engine.Where
+	ColEqCol    = engine.ColEqCol
+	ColTheta    = engine.ColTheta
+	ColThetaCol = engine.ColThetaCol
+)
+
+// Run evaluates a plan on a database and computes the probability of every
+// result tuple.
+func Run(db *Database, plan Plan) (*Relation, []TupleResult, RunTiming, error) {
+	return engine.Run(db, plan, compile.Options{})
+}
+
+// RunWithOptions is Run with explicit compilation options.
+func RunWithOptions(db *Database, plan Plan, opts CompileOptions) (*Relation, []TupleResult, RunTiming, error) {
+	return engine.Run(db, plan, opts)
+}
+
+// Tractability analysis (Section 6).
+type (
+	// Verdict is a tractability classification with its reason.
+	Verdict = tractable.Verdict
+	// Class is Qind, Qhie or hard.
+	Class = tractable.Class
+)
+
+// Tractability classes.
+const (
+	Hard = tractable.Hard
+	Qind = tractable.Ind
+	Qhie = tractable.Hie
+)
+
+// Classify analyses a plan per Definitions 8/9.
+func Classify(p Plan, db *Database) Verdict { return tractable.Classify(p, db) }
+
+// AVG composition (paper Section 2.2: AVG is composed from SUM and COUNT
+// via the joint distribution).
+type (
+	// AvgDist is the exact distribution of an average.
+	AvgDist = core.AvgDist
+	// Ratio is an exact rational average outcome.
+	Ratio = core.Ratio
+)
+
+// Baselines.
+
+// Enumerate computes an exact distribution by possible-worlds enumeration
+// (exponential; for validation on small inputs).
+func Enumerate(e Expr, reg *Registry, kind SemiringKind) (Dist, error) {
+	return worlds.Enumerate(e, reg, algebra.SemiringFor(kind))
+}
+
+// MonteCarlo estimates a distribution from n sampled worlds.
+func MonteCarlo(e Expr, reg *Registry, kind SemiringKind, n int, rng *rand.Rand) (Dist, error) {
+	return worlds.MonteCarlo(e, reg, algebra.SemiringFor(kind), n, rng)
+}
+
+// Random expression generation (the paper's Section 7.1 workload).
+type (
+	// GenParams parameterise the random conditional-expression generator.
+	GenParams = gen.Params
+	// GenInstance is one generated expression with its registry.
+	GenInstance = gen.Instance
+)
+
+// Generate builds one random conditional expression per Eq. (11).
+func Generate(p GenParams) (GenInstance, error) { return gen.New(p) }

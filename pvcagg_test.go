@@ -1,0 +1,106 @@
+package pvcagg_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvcagg"
+)
+
+// The quick-start from the package documentation.
+func TestQuickStart(t *testing.T) {
+	reg := pvcagg.NewRegistry()
+	reg.DeclareBool("x", 0.5)
+	reg.DeclareBool("y", 0.5)
+	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
+	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
+	d, rep, err := p.Distribution(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.P(pvcagg.BoolV(true)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P[⊤] = %v, want 0.5 (y is pruned)", got)
+	}
+	if rep.Tree.Nodes == 0 {
+		t.Errorf("report empty")
+	}
+}
+
+func TestFacadeDatabaseRoundTrip(t *testing.T) {
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	r := pvcagg.NewRelation("R", pvcagg.Schema{
+		{Name: "k", Type: pvcagg.TValue},
+		{Name: "v", Type: pvcagg.TValue},
+	})
+	for i := int64(0); i < 4; i++ {
+		if _, err := db.InsertIndependent(r, 0.5, pvcagg.IntCell(i%2), pvcagg.IntCell(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(r)
+	plan := &pvcagg.GroupAgg{
+		Input:   &pvcagg.Scan{Table: "R"},
+		GroupBy: []string{"k"},
+		Aggs:    []pvcagg.AggSpec{{Out: "total", Agg: pvcagg.SUM, Over: "v"}},
+	}
+	rel, results, timing, err := pvcagg.Run(db, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || len(results) != 2 {
+		t.Fatalf("result size %d", rel.Len())
+	}
+	for _, res := range results {
+		if math.Abs(res.Confidence-0.75) > 1e-12 {
+			t.Errorf("confidence = %v, want 0.75", res.Confidence)
+		}
+	}
+	if timing.Construct <= 0 {
+		t.Errorf("timing missing")
+	}
+	v := pvcagg.Classify(plan, db)
+	if v.Class != pvcagg.Qhie {
+		t.Errorf("classification = %v (%s), want Qhie", v.Class, v.Reason)
+	}
+}
+
+func TestFacadeBaselinesAgree(t *testing.T) {
+	reg := pvcagg.NewRegistry()
+	reg.DeclareBool("a", 0.3)
+	reg.DeclareBool("b", 0.6)
+	e := pvcagg.MustParseExpr("a*b + a")
+	exact, err := pvcagg.Enumerate(e, reg, pvcagg.Boolean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
+	compiled, _, err := p.Distribution(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Equal(exact, 1e-12) {
+		t.Errorf("pipeline %v vs enumeration %v", compiled, exact)
+	}
+	mc, err := pvcagg.MonteCarlo(e, reg, pvcagg.Boolean, 20000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Equal(exact, 0.02) {
+		t.Errorf("Monte Carlo too far: %v vs %v", mc, exact)
+	}
+}
+
+func TestFacadeGenerator(t *testing.T) {
+	inst, err := pvcagg.Generate(pvcagg.GenParams{
+		L: 4, NumVars: 5, NumClauses: 2, NumLiterals: 2,
+		MaxV: 10, AggL: pvcagg.MIN, Theta: pvcagg.LE, C: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pvcagg.NewPipeline(pvcagg.Boolean, inst.Registry)
+	if _, _, err := p.Distribution(inst.Expr); err != nil {
+		t.Fatal(err)
+	}
+}
