@@ -229,6 +229,72 @@ func BenchmarkFig11ExpF(b *testing.B) {
 	}
 }
 
+// Paired sequential/parallel benchmarks for the concurrent execution
+// layer: the same workload runs once through the sequential path and
+// once through the bounded worker pool, so the reported ratio is the
+// engine-level speedup (≈1× at GOMAXPROCS=1, growing with cores).
+
+// BenchmarkParallelProbabilities: batched per-tuple probability
+// computation on a multi-tuple TPC-H-style workload (Q1's grouped
+// aggregates at growing scale factors).
+func BenchmarkParallelProbabilities(b *testing.B) {
+	for _, sf := range []float64{0.001, 0.002} {
+		prb, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := tpch.Q1(1200)
+		rel, err := plan.Eval(prb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sequential/sf=%g", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Probabilities(prb, rel, compile.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/sf=%g", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.ProbabilitiesParallel(prb, rel, compile.Options{},
+					engine.ParallelOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelCompile: single-expression compilation with Shannon
+// branches fanned out, on a hard random instance (two-sided comparison).
+func BenchmarkParallelCompile(b *testing.B) {
+	p := benchBase()
+	p.NumClauses = 2
+	p.NumLiterals = 2
+	p.AggL, p.AggR = algebra.Min, algebra.Count
+	p.L, p.R = 30, 20
+	p.Theta = value.LE
+	p.Seed = 1
+	inst := gen.MustNew(p)
+	pl := core.New(algebra.Boolean, inst.Registry)
+	pl.Options = compile.Options{MaxNodes: 20_000_000}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pl.Distribution(inst.Expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pl.DistributionParallel(inst.Expr, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Ablation benchmarks for the design choices called out in DESIGN.md.
 
 func ablationParams() gen.Params {

@@ -9,12 +9,14 @@
 //	experiments -exp A          # one experiment
 //	experiments -preset paper   # the paper's exact parameters (slow!)
 //	experiments -runs 10        # runs per point
+//	experiments -parallel 0     # parallel compile/probability (GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"pvcagg/internal/algebra"
@@ -25,11 +27,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run: A, B, C, D, E, F or all")
-		preset = flag.String("preset", "quick", "parameter preset: quick or paper")
-		runs   = flag.Int("runs", 5, "runs per measured point")
+		exp      = flag.String("exp", "all", "experiment to run: A, B, C, D, E, F or all")
+		preset   = flag.String("preset", "quick", "parameter preset: quick or paper")
+		runs     = flag.Int("runs", 5, "runs per measured point")
+		parallel = flag.Int("parallel", 1, "compilation/probability parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	var base gen.Params
 	switch *preset {
@@ -41,7 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown preset %q\n", *preset)
 		os.Exit(2)
 	}
-	o := benchx.Options{Runs: *runs}
+	o := benchx.Options{Runs: *runs, Parallel: *parallel}
 	w := os.Stdout
 	want := strings.ToUpper(*exp)
 	run := func(name string) bool { return want == "ALL" || want == name }
@@ -139,7 +145,7 @@ func main() {
 		if *preset == "paper" {
 			sfs = []float64{0.005, 0.01, 0.02, 0.05, 0.1}
 		}
-		pts, err := benchx.ExperimentF(sfs, 1)
+		pts, err := benchx.ExperimentF(sfs, 1, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	pvcrun -demo shop  -p 0.5          # Figure 1 database, queries Q1/Q2
-//	pvcrun -demo tpch  -sf 0.001       # TPC-H Q1 and Q2
+//	pvcrun -demo shop  -p 0.5              # Figure 1 database, queries Q1/Q2
+//	pvcrun -demo tpch  -sf 0.001           # TPC-H Q1 and Q2
+//	pvcrun -demo tpch  -sf 0.001 -parallel 0  # parallel probability step (GOMAXPROCS)
 package main
 
 import (
@@ -20,23 +21,32 @@ import (
 
 func main() {
 	var (
-		demo = flag.String("demo", "shop", "demo database: shop or tpch")
-		p    = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
-		sf   = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
+		demo     = flag.String("demo", "shop", "demo database: shop or tpch")
+		p        = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
+		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
+		parallel = flag.Int("parallel", 1, "probability-step parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	switch *demo {
 	case "shop":
-		runShop(*p)
+		runShop(*p, *parallel)
 	case "tpch":
-		runTPCH(*sf)
+		runTPCH(*sf, *parallel)
 	default:
 		fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
 		os.Exit(2)
 	}
 }
 
-func runShop(p float64) {
+// runPlan dispatches to the sequential or parallel entry point.
+func runPlan(db *pvcagg.Database, plan pvcagg.Plan, parallel int) (*pvcagg.Relation, []pvcagg.TupleResult, pvcagg.RunTiming, error) {
+	if parallel == 1 {
+		return pvcagg.Run(db, plan)
+	}
+	return pvcagg.RunParallel(db, plan, pvcagg.ParallelOptions{Parallelism: parallel})
+}
+
+func runShop(p float64, parallel int) {
 	db := shopDB(p)
 	q1 := &pvcagg.Project{
 		Cols: []string{"shop", "price"},
@@ -62,7 +72,7 @@ func runShop(p float64) {
 	}{{"Q1", q1}, {"Q2", q2}} {
 		fmt.Printf("== %s = %s\n", q.name, q.plan)
 		fmt.Printf("   class: %v\n", pvcagg.Classify(q.plan, db))
-		rel, results, timing, err := pvcagg.Run(db, q.plan)
+		rel, results, timing, err := runPlan(db, q.plan, parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,7 +84,7 @@ func runShop(p float64) {
 	}
 }
 
-func runTPCH(sf float64) {
+func runTPCH(sf float64, parallel int) {
 	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
 	if err != nil {
 		fatal(err)
@@ -87,7 +97,7 @@ func runTPCH(sf float64) {
 		{"TPC-H Q2", tpch.Q2(1, "AFRICA")},
 	} {
 		fmt.Printf("== %s\n", q.name)
-		rel, results, timing, err := pvcagg.Run(db, q.plan)
+		rel, results, timing, err := runPlan(db, q.plan, parallel)
 		if err != nil {
 			fatal(err)
 		}

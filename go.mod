@@ -1,0 +1,3 @@
+module pvcagg
+
+go 1.24

@@ -42,6 +42,9 @@ type Point struct {
 type Options struct {
 	Runs     int // expressions per point (paper: 10–40)
 	MaxNodes int // compilation node budget per run (0 = unlimited)
+	// Parallel is the compilation parallelism per run: 1 (or 0) keeps
+	// the sequential path; > 1 measures the parallel compiler instead.
+	Parallel int
 }
 
 func (o Options) orDefault() Options {
@@ -69,7 +72,13 @@ func measure(p gen.Params, o Options) Point {
 			Options:  compile.Options{MaxNodes: o.MaxNodes},
 		}
 		t0 := time.Now()
-		_, rep, err := pl.Distribution(inst.Expr)
+		var rep core.Report
+		var err error
+		if o.Parallel > 1 {
+			_, rep, err = pl.DistributionParallel(inst.Expr, o.Parallel)
+		} else {
+			_, rep, err = pl.Distribution(inst.Expr)
+		}
 		if err != nil {
 			failed++
 			continue
@@ -217,8 +226,10 @@ type FPoint struct {
 
 // ExperimentF (Figure 11): TPC-H queries Q1 and Q2 at increasing scale
 // factors, separating deterministic evaluation (Q0), expression
-// construction (⟦·⟧) and probability computation (P(·)).
-func ExperimentF(sfs []float64, seed int64) ([]FPoint, error) {
+// construction (⟦·⟧) and probability computation (P(·)). With
+// parallelism > 1 the probability step runs on the batched parallel
+// engine.
+func ExperimentF(sfs []float64, seed int64, parallelism int) ([]FPoint, error) {
 	var out []FPoint
 	for _, sf := range sfs {
 		det, err := tpch.Generate(tpch.Config{SF: sf, Seed: seed})
@@ -243,7 +254,14 @@ func ExperimentF(sfs []float64, seed int64) ([]FPoint, error) {
 				return nil, fmt.Errorf("benchx: %s Q0 at SF %v: %w", q.name, sf, err)
 			}
 			q0 := time.Since(t0)
-			rel, _, timing, err := engine.Run(prb, q.plan, compile.Options{})
+			var rel *pvc.Relation
+			var timing engine.RunTiming
+			if parallelism > 1 {
+				rel, _, timing, err = engine.RunParallel(prb, q.plan, compile.Options{},
+					engine.ParallelOptions{Parallelism: parallelism})
+			} else {
+				rel, _, timing, err = engine.Run(prb, q.plan, compile.Options{})
+			}
 			if err != nil {
 				return nil, fmt.Errorf("benchx: %s at SF %v: %w", q.name, sf, err)
 			}

@@ -407,7 +407,8 @@ func (c *Compiler) compileTensor(t expr.Tensor, whole expr.Expr) (dtree.Node, er
 // compileCmp applies the pruning rules and then rule 4.
 func (c *Compiler) compileCmp(cm expr.Cmp) (dtree.Node, error) {
 	if !c.opts.DisablePruning {
-		pruned := c.pruneCmp(cm)
+		pruned, dropped := pruneCmp(c.s, c.reg, cm)
+		c.st.PrunedTerms += dropped
 		simplified := expr.Simplify(pruned, c.s)
 		if !expr.HasVars(simplified) {
 			v, err := expr.Eval(simplified, nil, c.s)
@@ -433,7 +434,7 @@ func (c *Compiler) compileCmp(cm expr.Cmp) (dtree.Node, error) {
 		}
 		var cap *prob.Cap
 		if !c.opts.DisablePruning {
-			cap = c.capFor(cm)
+			cap = capFor(c.s, c.reg, cm)
 		}
 		return c.newNode(&dtree.CmpNode{Th: cm.Th, L: l, R: r, Cap: cap})
 	}
@@ -462,13 +463,20 @@ func (c *Compiler) shannon(e expr.Expr) (dtree.Node, error) {
 
 // chooseVariable applies the configured variable-order heuristic.
 func (c *Compiler) chooseVariable(e expr.Expr) string {
+	return chooseVariable(e, c.opts.Order)
+}
+
+// chooseVariable picks the Shannon-expansion variable of e under the
+// given heuristic. It is deterministic, so sequential and parallel
+// compilation expand the same variables in the same places.
+func chooseVariable(e expr.Expr, order VarOrder) string {
 	counts := expr.VarCounts(e)
 	names := make([]string, 0, len(counts))
 	for x := range counts {
 		names = append(names, x)
 	}
 	sort.Strings(names)
-	switch c.opts.Order {
+	switch order {
 	case Lexicographic:
 		return names[0]
 	case LeastOccurrences:

@@ -1,0 +1,196 @@
+// Differential and determinism tests for the parallel compilation path:
+// ParallelCompiler vs. the sequential Compiler vs. brute-force
+// possible-worlds enumeration, over randomized instances with fixed
+// seeds. The external test package lets the harness use the gen and
+// worlds packages (gen imports engine, which imports compile).
+package compile_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/compile"
+	"pvcagg/internal/dtree"
+	"pvcagg/internal/gen"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/value"
+	"pvcagg/internal/worlds"
+)
+
+// diffParams enumerates the randomized instance grid of the differential
+// harness: 3 sizes × 3 shapes × 4 aggregation monoids × 3 comparison
+// operators = 108 instances, each with its own seed.
+func diffParams() []gen.Params {
+	aggs := []algebra.Agg{algebra.Min, algebra.Max, algebra.Sum, algebra.Count}
+	thetas := []value.Theta{value.LE, value.GE, value.EQ}
+	var out []gen.Params
+	seed := int64(0)
+	for _, size := range []struct{ v, l, r int }{{4, 3, 0}, {6, 5, 0}, {8, 6, 3}} {
+		for _, shape := range []struct{ cl, lit int }{{1, 2}, {2, 1}, {2, 2}} {
+			for _, agg := range aggs {
+				for _, th := range thetas {
+					seed++
+					out = append(out, gen.Params{
+						L:           size.l,
+						R:           size.r,
+						NumVars:     size.v,
+						NumClauses:  shape.cl,
+						NumLiterals: shape.lit,
+						MaxV:        10,
+						AggL:        agg,
+						AggR:        agg,
+						Theta:       th,
+						C:           5,
+						Seed:        seed,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func evalRoot(t *testing.T, res compile.Result) dtree.Node {
+	t.Helper()
+	if err := dtree.Validate(res.Root); err != nil {
+		t.Fatalf("d-tree violates Definition 7: %v", err)
+	}
+	return res.Root
+}
+
+// TestParallelCompileDifferential compiles 108 randomized conditional
+// expressions sequentially, in parallel, and by brute-force enumeration,
+// and requires all three distributions to agree.
+func TestParallelCompileDifferential(t *testing.T) {
+	params := diffParams()
+	if len(params) < 100 {
+		t.Fatalf("differential grid has %d < 100 instances", len(params))
+	}
+	s := algebra.SemiringFor(algebra.Boolean)
+	for _, p := range params {
+		p := p
+		name := fmt.Sprintf("%s/%s/v%d/L%d/R%d/seed%d", p.AggL, p.Theta, p.NumVars, p.L, p.R, p.Seed)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			inst := gen.MustNew(p)
+			seqRes, err := compile.New(s, inst.Registry, compile.Options{}).Compile(inst.Expr)
+			if err != nil {
+				t.Fatalf("sequential compile: %v", err)
+			}
+			seqDist, _, err := dtree.Evaluate(evalRoot(t, seqRes), dtree.Env{Semiring: s, Registry: inst.Registry})
+			if err != nil {
+				t.Fatalf("sequential evaluate: %v", err)
+			}
+			parRes, err := compile.ParallelCompile(s, inst.Registry, compile.Options{}, 4, inst.Expr)
+			if err != nil {
+				t.Fatalf("parallel compile: %v", err)
+			}
+			parDist, _, err := dtree.Evaluate(evalRoot(t, parRes), dtree.Env{Semiring: s, Registry: inst.Registry})
+			if err != nil {
+				t.Fatalf("parallel evaluate: %v", err)
+			}
+			if !parDist.Equal(seqDist, 1e-12) {
+				t.Fatalf("parallel %v != sequential %v", parDist, seqDist)
+			}
+			brute, err := worlds.Enumerate(inst.Expr, inst.Registry, s)
+			if err != nil {
+				t.Fatalf("enumerate: %v", err)
+			}
+			if !parDist.Equal(brute, 1e-9) {
+				t.Fatalf("parallel %v != possible worlds %v", parDist, brute)
+			}
+		})
+	}
+}
+
+// TestParallelCompileOptions checks the parallel path under every
+// ablation switch and variable order against brute force.
+func TestParallelCompileOptions(t *testing.T) {
+	s := algebra.SemiringFor(algebra.Boolean)
+	p := gen.Params{
+		L: 6, NumVars: 7, NumClauses: 2, NumLiterals: 2,
+		MaxV: 10, AggL: algebra.Min, Theta: value.LE, C: 6, Seed: 7,
+	}
+	inst := gen.MustNew(p)
+	brute, err := worlds.Enumerate(inst.Expr, inst.Registry, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []compile.Options{
+		{},
+		{DisablePruning: true},
+		{DisableMemo: true},
+		{DisableFactoring: true},
+		{Order: compile.LeastOccurrences},
+		{Order: compile.Lexicographic},
+	}
+	for i, o := range opts {
+		res, err := compile.ParallelCompile(s, inst.Registry, o, 4, inst.Expr)
+		if err != nil {
+			t.Fatalf("options %d: %v", i, err)
+		}
+		d, _, err := dtree.Evaluate(res.Root, dtree.Env{Semiring: s, Registry: inst.Registry})
+		if err != nil {
+			t.Fatalf("options %d: evaluate: %v", i, err)
+		}
+		if !d.Equal(brute, 1e-9) {
+			t.Fatalf("options %d: %v != possible worlds %v", i, d, brute)
+		}
+	}
+}
+
+// TestParallelCompileDeterminism requires identical probabilities (well
+// within 1e-12) across repeated runs and across parallelism 1, 2 and
+// GOMAXPROCS.
+func TestParallelCompileDeterminism(t *testing.T) {
+	s := algebra.SemiringFor(algebra.Boolean)
+	p := gen.Params{
+		L: 10, NumVars: 10, NumClauses: 2, NumLiterals: 2,
+		MaxV: 15, AggL: algebra.Sum, Theta: value.LE, C: 20, Seed: 42,
+	}
+	inst := gen.MustNew(p)
+	distribution := func(par int) (prob.Dist, error) {
+		res, err := compile.ParallelCompile(s, inst.Registry, compile.Options{}, par, inst.Expr)
+		if err != nil {
+			return prob.Dist{}, err
+		}
+		d, _, err := dtree.Evaluate(res.Root, dtree.Env{Semiring: s, Registry: inst.Registry})
+		return d, err
+	}
+	ref, err := distribution(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for rep := 0; rep < 3; rep++ {
+			d, err := distribution(par)
+			if err != nil {
+				t.Fatalf("parallelism %d rep %d: %v", par, rep, err)
+			}
+			if !d.Equal(ref, 1e-12) {
+				t.Fatalf("parallelism %d rep %d: %v != reference %v", par, rep, d, ref)
+			}
+		}
+	}
+}
+
+// TestParallelCompileMaxNodes checks that the shared node budget aborts
+// a parallel compilation with the same error as the sequential path.
+func TestParallelCompileMaxNodes(t *testing.T) {
+	s := algebra.SemiringFor(algebra.Boolean)
+	p := gen.Params{
+		L: 12, NumVars: 12, NumClauses: 2, NumLiterals: 2,
+		MaxV: 15, AggL: algebra.Sum, Theta: value.EQ, C: 9, Seed: 3,
+	}
+	inst := gen.MustNew(p)
+	_, err := compile.ParallelCompile(s, inst.Registry, compile.Options{MaxNodes: 5}, 4, inst.Expr)
+	if err == nil {
+		t.Fatal("expected node-budget error, got nil")
+	}
+	if !strings.Contains(err.Error(), "exceeds 5 nodes") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

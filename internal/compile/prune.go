@@ -5,18 +5,21 @@ import (
 	"pvcagg/internal/expr"
 	"pvcagg/internal/prob"
 	"pvcagg/internal/value"
+	"pvcagg/internal/vars"
 )
 
 // This file implements the "Pruning Conditional Expressions" optimisation
 // of Section 5: algebraic rules that remove redundant semimodule terms
 // from comparisons, interval analysis that decides comparisons outright,
 // and the distribution caps that bound convolution sizes during d-tree
-// evaluation.
+// evaluation. The functions are free of compiler state so the sequential
+// and parallel compilation paths share them; the second result of
+// pruneCmp is the number of dropped terms, which the caller accounts.
 
 // pruneCmp rewrites [α θ β] into an equivalent comparison with redundant
-// terms removed. Equivalence is with respect to the comparison's
-// distribution, not the operand's.
-func (c *Compiler) pruneCmp(cm expr.Cmp) expr.Expr {
+// terms removed, reporting how many terms were dropped. Equivalence is
+// with respect to the comparison's distribution, not the operand's.
+func pruneCmp(s algebra.Semiring, reg *vars.Registry, cm expr.Cmp) (expr.Expr, int) {
 	l, r := cm.L, cm.R
 	th := cm.Th
 	// Normalise a constant left side to the right: [c θ α] ≡ [α θ.Flip() c].
@@ -28,16 +31,16 @@ func (c *Compiler) pruneCmp(cm expr.Cmp) expr.Expr {
 		// Interval analysis: if every world's value of l decides θ against
 		// cv the same way, the comparison is constant (subsumes the
 		// paper's SUM rule "≡ 1S if Σ mi ≤ m").
-		if lo, hi, ok := c.bounds(l); ok {
+		if lo, hi, ok := bounds(s, reg, l); ok {
 			if decided, res := decide(th, lo, hi, cv); decided {
-				return expr.Const{V: boolTo(c.s, res)}
+				return expr.Const{V: boolTo(s, res)}, 0
 			}
 		}
-		if pruned, ok := c.pruneTerms(l, th, cv); ok {
-			return expr.Cmp{Th: th, L: pruned, R: r}
+		if pruned, dropped, ok := pruneTerms(l, th, cv); ok {
+			return expr.Cmp{Th: th, L: pruned, R: r}, dropped
 		}
 	}
-	return expr.Cmp{Th: th, L: l, R: r}
+	return expr.Cmp{Th: th, L: l, R: r}, 0
 }
 
 // pruneTerms applies the monoid-specific term-pruning rules against the
@@ -45,10 +48,10 @@ func (c *Compiler) pruneCmp(cm expr.Cmp) expr.Expr {
 // side of cv are dropped (paper's rule [Σmin Φi⊗mi ≤ m] ≡ [Σ_{mi≤m} … ≤ m]);
 // MAX mirrors MIN. SUM/COUNT/PROD terms are never dropped (every term can
 // shift the aggregate) — those rely on interval analysis and capping.
-func (c *Compiler) pruneTerms(l expr.Expr, th value.Theta, cv value.V) (expr.Expr, bool) {
+func pruneTerms(l expr.Expr, th value.Theta, cv value.V) (expr.Expr, int, bool) {
 	sum, ok := l.(expr.AggSum)
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	var keep func(m value.V) bool
 	switch sum.Agg {
@@ -69,7 +72,7 @@ func (c *Compiler) pruneTerms(l expr.Expr, th value.Theta, cv value.V) (expr.Exp
 			keep = func(m value.V) bool { return !m.Less(cv) }
 		}
 	default:
-		return nil, false
+		return nil, 0, false
 	}
 	kept := make([]expr.Expr, 0, len(sum.Terms))
 	dropped := 0
@@ -81,13 +84,12 @@ func (c *Compiler) pruneTerms(l expr.Expr, th value.Theta, cv value.V) (expr.Exp
 		kept = append(kept, t)
 	}
 	if dropped == 0 {
-		return nil, false
+		return nil, 0, false
 	}
-	c.st.PrunedTerms += dropped
 	if len(kept) == 0 {
-		return expr.MConst{V: algebra.MonoidFor(sum.Agg).Neutral()}, true
+		return expr.MConst{V: algebra.MonoidFor(sum.Agg).Neutral()}, dropped, true
 	}
-	return expr.MSum(sum.Agg, kept...), true
+	return expr.MSum(sum.Agg, kept...), dropped, true
 }
 
 // termValue extracts the monoid constant of a term Φ ⊗ m or m.
@@ -137,26 +139,26 @@ func decide(th value.Theta, lo, hi, cv value.V) (bool, bool) {
 // bounds computes an interval [lo, hi] containing every possible value of
 // the module expression e, using the variable supports in the registry.
 // The third result is false when no finite analysis is possible.
-func (c *Compiler) bounds(e expr.Expr) (value.V, value.V, bool) {
+func bounds(s algebra.Semiring, reg *vars.Registry, e expr.Expr) (value.V, value.V, bool) {
 	switch n := e.(type) {
 	case expr.MConst:
 		return n.V, n.V, true
 	case expr.Tensor:
 		mo := algebra.MonoidFor(n.Agg)
-		mlo, mhi, ok := c.bounds(n.Mod)
+		mlo, mhi, ok := bounds(s, reg, n.Mod)
 		if !ok {
 			return value.V{}, value.V{}, false
 		}
-		slo, shi, ok := c.scalarBounds(n.Scalar)
+		slo, shi, ok := scalarBounds(s, reg, n.Scalar)
 		if !ok {
 			return value.V{}, value.V{}, false
 		}
 		// Candidate extreme outcomes of Action over the corner points.
 		cands := []value.V{
-			algebra.Action(c.s, mo, slo, mlo),
-			algebra.Action(c.s, mo, slo, mhi),
-			algebra.Action(c.s, mo, shi, mlo),
-			algebra.Action(c.s, mo, shi, mhi),
+			algebra.Action(s, mo, slo, mlo),
+			algebra.Action(s, mo, slo, mhi),
+			algebra.Action(s, mo, shi, mlo),
+			algebra.Action(s, mo, shi, mhi),
 		}
 		// Scalars strictly between the corners can produce the neutral
 		// (s = 0) or intermediate multiples; include the neutral when 0
@@ -175,7 +177,7 @@ func (c *Compiler) bounds(e expr.Expr) (value.V, value.V, bool) {
 		mo := algebra.MonoidFor(n.Agg)
 		lo, hi := mo.Neutral(), mo.Neutral()
 		for _, t := range n.Terms {
-			tlo, thi, ok := c.bounds(t)
+			tlo, thi, ok := bounds(s, reg, t)
 			if !ok {
 				return value.V{}, value.V{}, false
 			}
@@ -201,24 +203,24 @@ func (c *Compiler) bounds(e expr.Expr) (value.V, value.V, bool) {
 // scalarBounds computes an interval for a semiring expression, assuming
 // non-negative variable supports (it bails out otherwise, keeping the
 // product rule sound).
-func (c *Compiler) scalarBounds(e expr.Expr) (value.V, value.V, bool) {
+func scalarBounds(s algebra.Semiring, reg *vars.Registry, e expr.Expr) (value.V, value.V, bool) {
 	switch n := e.(type) {
 	case expr.Const:
-		v := c.s.Normalise(n.V)
+		v := s.Normalise(n.V)
 		if v.Less(value.Int(0)) {
 			return value.V{}, value.V{}, false
 		}
 		return v, v, true
 	case expr.Var:
-		d, err := c.reg.Dist(n.Name)
+		d, err := reg.Dist(n.Name)
 		if err != nil {
 			return value.V{}, value.V{}, false
 		}
 		support := d.Support()
-		lo := c.s.Normalise(support[0])
-		hi := c.s.Normalise(support[len(support)-1])
+		lo := s.Normalise(support[0])
+		hi := s.Normalise(support[len(support)-1])
 		for _, v := range support {
-			nv := c.s.Normalise(v)
+			nv := s.Normalise(v)
 			lo, hi = lo.Min(nv), hi.Max(nv)
 		}
 		if lo.Less(value.Int(0)) {
@@ -227,11 +229,11 @@ func (c *Compiler) scalarBounds(e expr.Expr) (value.V, value.V, bool) {
 		return lo, hi, true
 	case expr.Add:
 		lo, hi := value.Int(0), value.Int(0)
-		if c.s.Kind() == algebra.Boolean {
+		if s.Kind() == algebra.Boolean {
 			// Boolean sum is disjunction: bounded by [max lo, max hi]
 			// with saturation at 1.
 			for _, t := range n.Terms {
-				tlo, thi, ok := c.scalarBounds(t)
+				tlo, thi, ok := scalarBounds(s, reg, t)
 				if !ok {
 					return value.V{}, value.V{}, false
 				}
@@ -241,7 +243,7 @@ func (c *Compiler) scalarBounds(e expr.Expr) (value.V, value.V, bool) {
 			return lo, hi, true
 		}
 		for _, t := range n.Terms {
-			tlo, thi, ok := c.scalarBounds(t)
+			tlo, thi, ok := scalarBounds(s, reg, t)
 			if !ok {
 				return value.V{}, value.V{}, false
 			}
@@ -251,7 +253,7 @@ func (c *Compiler) scalarBounds(e expr.Expr) (value.V, value.V, bool) {
 	case expr.Mul:
 		lo, hi := value.Int(1), value.Int(1)
 		for _, f := range n.Factors {
-			flo, fhi, ok := c.scalarBounds(f)
+			flo, fhi, ok := scalarBounds(s, reg, f)
 			if !ok {
 				return value.V{}, value.V{}, false
 			}
@@ -272,7 +274,7 @@ func (c *Compiler) scalarBounds(e expr.Expr) (value.V, value.V, bool) {
 // this node. Intermediate capping is sound only for monoids whose
 // combination cannot bring a value back below the cap: MIN, MAX, and
 // SUM/COUNT over provably non-negative contributions.
-func (c *Compiler) capFor(cm expr.Cmp) *prob.Cap {
+func capFor(s algebra.Semiring, reg *vars.Registry, cm expr.Cmp) *prob.Cap {
 	if cm.L.Kind() != expr.KindModule {
 		return nil
 	}
@@ -284,7 +286,7 @@ func (c *Compiler) capFor(cm expr.Cmp) *prob.Cap {
 	case algebra.Min, algebra.Max:
 		// always sound
 	case algebra.Sum, algebra.Count:
-		lo, _, ok := c.bounds(cm.L)
+		lo, _, ok := bounds(s, reg, cm.L)
 		if !ok || lo.Less(value.Int(0)) {
 			return nil
 		}
@@ -296,7 +298,7 @@ func (c *Compiler) capFor(cm expr.Cmp) *prob.Cap {
 	var limit value.V
 	if cv, ok := constOf(cm.R); ok {
 		limit = cv
-	} else if _, hi, ok := c.bounds(cm.R); ok && hi.IsInt() {
+	} else if _, hi, ok := bounds(s, reg, cm.R); ok && hi.IsInt() {
 		limit = hi
 	} else {
 		return nil

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvcagg/internal/compile"
+	"pvcagg/internal/core"
+	"pvcagg/internal/pvc"
+)
+
+// This file implements the batched parallel probability step: every
+// result tuple's semimodule expressions compile and evaluate
+// independently (they only share the read-only registry), so the tuples
+// of a pvc-table fan out to a bounded worker pool. When tuples are
+// scarcer than workers, the leftover parallelism moves *inside* each
+// tuple's compilation (compile.ParallelCompiler fans Shannon branches),
+// so a single hard tuple still saturates the machine.
+
+// ParallelOptions configure batched parallel probability computation.
+type ParallelOptions struct {
+	// Parallelism bounds the number of goroutines doing compilation and
+	// evaluation work, across tuples and inside tuples combined.
+	// Parallelism <= 0 selects runtime.GOMAXPROCS(0); Parallelism == 1
+	// reproduces the sequential path exactly.
+	Parallelism int
+}
+
+// split divides the parallelism budget for a batch of n tuples into
+// tuple-level workers and per-tuple (intra-compilation) parallelism.
+func (o ParallelOptions) split(n int) (workers, inner int) {
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	workers = par
+	if n < workers {
+		workers = n
+	}
+	inner = par / workers
+	if inner < 1 {
+		inner = 1
+	}
+	return workers, inner
+}
+
+// ProbabilitiesParallel is Probabilities with the result tuples
+// distributed over a bounded worker pool. Results are returned in tuple
+// order and are identical to the sequential ones (the per-tuple
+// computation is deterministic and tuples are independent). Unlike
+// Probabilities, which stops at the first failing tuple, every failing
+// tuple is reported: the returned error joins one error per tuple.
+func ProbabilitiesParallel(db *pvc.Database, rel *pvc.Relation, opts compile.Options, par ParallelOptions) ([]TupleResult, error) {
+	n := len(rel.Tuples)
+	if n == 0 {
+		return []TupleResult{}, nil
+	}
+	workers, inner := par.split(n)
+	moduleCols := moduleColumns(rel.Schema)
+	out := make([]TupleResult, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One pipeline per worker: core.Pipeline is not safe for
+			// concurrent use, but tuples share nothing beyond the
+			// read-only registry.
+			pr := prober{
+				pl:  &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts},
+				par: inner,
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = tupleResult(pr, rel.Tuples[i], moduleCols)
+			}
+		}()
+	}
+	wg.Wait()
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("engine: %d of %d tuples failed: %w", len(failed), n, errors.Join(failed...))
+	}
+	return out, nil
+}
+
+// RunParallel is Run with the probability step parallelised. Expression
+// construction (⟦·⟧, step I) stays sequential — it is a small fraction
+// of end-to-end cost on probabilistic workloads (Experiment F) — so the
+// timing split remains comparable with Run's.
+func RunParallel(db *pvc.Database, plan Plan, opts compile.Options, par ParallelOptions) (*pvc.Relation, []TupleResult, RunTiming, error) {
+	return runWith(db, plan, func(rel *pvc.Relation) ([]TupleResult, error) {
+		return ProbabilitiesParallel(db, rel, opts, par)
+	})
+}
+
+// runWith chains the two query-evaluation steps with the given
+// probability step — the shared body of Run and RunParallel.
+func runWith(db *pvc.Database, plan Plan, probabilities func(*pvc.Relation) ([]TupleResult, error)) (*pvc.Relation, []TupleResult, RunTiming, error) {
+	var timing RunTiming
+	t0 := time.Now()
+	rel, err := plan.Eval(db)
+	if err != nil {
+		return nil, nil, timing, err
+	}
+	rel.Sort()
+	timing.Construct = time.Since(t0)
+	t1 := time.Now()
+	results, err := probabilities(rel)
+	if err != nil {
+		return nil, nil, timing, err
+	}
+	timing.Probability = time.Since(t1)
+	return rel, results, timing, nil
+}

@@ -1,0 +1,198 @@
+// Differential and determinism tests for the batched parallel
+// probability engine: ProbabilitiesParallel vs. the sequential
+// Probabilities vs. brute-force possible-worlds enumeration
+// (worlds.RelationTruth), over randomly generated pvc-databases and
+// plans. The external test package lets the harness use gen (which
+// imports engine).
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/compile"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/gen"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/worlds"
+)
+
+// TestProbabilitiesParallelDifferential evaluates 120 randomly generated
+// plans over randomly generated pvc-databases and requires, per result
+// tuple, that parallel confidence and aggregate distributions match both
+// the sequential path and brute-force enumeration.
+func TestProbabilitiesParallelDifferential(t *testing.T) {
+	instances := 0
+	nonEmpty := 0
+	for seed := int64(1); seed <= 120; seed++ {
+		seed := seed
+		instances++
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			inst := gen.MustNewDB(gen.DBParams{Seed: seed})
+			rel, err := inst.Plan.Eval(inst.DB)
+			if err != nil {
+				t.Fatalf("plan %s: %v", inst.Plan, err)
+			}
+			rel.Sort()
+			seq, err := engine.Probabilities(inst.DB, rel, compile.Options{})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := engine.ProbabilitiesParallel(inst.DB, rel, compile.Options{},
+				engine.ParallelOptions{Parallelism: 4})
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			truth, err := worlds.RelationTruth(inst.DB, rel)
+			if err != nil {
+				t.Fatalf("enumeration: %v", err)
+			}
+			if len(par) != len(seq) || len(truth) != len(seq) {
+				t.Fatalf("result counts differ: seq %d, par %d, worlds %d", len(seq), len(par), len(truth))
+			}
+			for i := range seq {
+				if diff := par[i].Confidence - seq[i].Confidence; diff > 1e-12 || diff < -1e-12 {
+					t.Errorf("tuple %d: parallel confidence %v != sequential %v", i, par[i].Confidence, seq[i].Confidence)
+				}
+				if diff := par[i].Confidence - truth[i].Confidence; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("tuple %d: parallel confidence %v != possible worlds %v", i, par[i].Confidence, truth[i].Confidence)
+				}
+				if len(par[i].AggDists) != len(seq[i].AggDists) || len(truth[i].AggDists) != len(seq[i].AggDists) {
+					t.Fatalf("tuple %d: aggregate column counts differ", i)
+				}
+				for j := range seq[i].AggDists {
+					if !par[i].AggDists[j].Equal(seq[i].AggDists[j], 1e-12) {
+						t.Errorf("tuple %d agg %d: parallel %v != sequential %v", i, j, par[i].AggDists[j], seq[i].AggDists[j])
+					}
+					if !par[i].AggDists[j].Equal(truth[i].AggDists[j], 1e-9) {
+						t.Errorf("tuple %d agg %d: parallel %v != possible worlds %v", i, j, par[i].AggDists[j], truth[i].AggDists[j])
+					}
+				}
+			}
+		})
+	}
+	// The grid must really exercise the engine: this fails loudly if a
+	// generator change ever makes every plan return the empty relation.
+	t.Cleanup(func() {
+		for seed := int64(1); seed <= 120; seed++ {
+			inst := gen.MustNewDB(gen.DBParams{Seed: seed})
+			if rel, err := inst.Plan.Eval(inst.DB); err == nil && rel.Len() > 0 {
+				nonEmpty++
+			}
+		}
+		if instances < 100 || nonEmpty < instances/2 {
+			t.Errorf("harness too weak: %d instances, %d non-empty results", instances, nonEmpty)
+		}
+	})
+}
+
+// TestProbabilitiesParallelDeterminism requires identical probabilities
+// across repeated runs and across parallelism 1, 2 and GOMAXPROCS.
+func TestProbabilitiesParallelDeterminism(t *testing.T) {
+	inst := gen.MustNewDB(gen.DBParams{Tuples: 6, Seed: 9})
+	rel, err := inst.Plan.Eval(inst.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Sort()
+	ref, err := engine.Probabilities(inst.DB, rel, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for rep := 0; rep < 3; rep++ {
+			got, err := engine.ProbabilitiesParallel(inst.DB, rel, compile.Options{},
+				engine.ParallelOptions{Parallelism: par})
+			if err != nil {
+				t.Fatalf("parallelism %d rep %d: %v", par, rep, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("parallelism %d rep %d: %d results, want %d", par, rep, len(got), len(ref))
+			}
+			for i := range ref {
+				if diff := got[i].Confidence - ref[i].Confidence; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("parallelism %d rep %d tuple %d: confidence %v != %v",
+						par, rep, i, got[i].Confidence, ref[i].Confidence)
+				}
+				for j := range ref[i].AggDists {
+					if !got[i].AggDists[j].Equal(ref[i].AggDists[j], 1e-12) {
+						t.Fatalf("parallelism %d rep %d tuple %d agg %d: %v != %v",
+							par, rep, i, j, got[i].AggDists[j], ref[i].AggDists[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbabilitiesParallelErrorAggregation checks that every failing
+// tuple is reported, not just the first one.
+func TestProbabilitiesParallelErrorAggregation(t *testing.T) {
+	db := pvc.NewDatabase(algebra.Boolean)
+	db.Registry.DeclareBool("x", 0.5)
+	rel := pvc.NewRelation("bad", pvc.Schema{{Name: "a", Type: pvc.TValue}})
+	rel.MustInsert(expr.V("x"), pvc.IntCell(1))
+	rel.Tuples = append(rel.Tuples,
+		pvc.Tuple{Cells: []pvc.Cell{pvc.IntCell(2)}, Ann: expr.V("ghost1")},
+		pvc.Tuple{Cells: []pvc.Cell{pvc.IntCell(3)}, Ann: expr.V("ghost2")},
+	)
+	// Aggregation must hold at every parallelism, including 1 (the
+	// sequential Probabilities, by contrast, stops at the first failure).
+	for _, par := range []int{1, 4} {
+		_, err := engine.ProbabilitiesParallel(db, rel, compile.Options{},
+			engine.ParallelOptions{Parallelism: par})
+		if err == nil {
+			t.Fatalf("parallelism %d: expected error for undeclared variables", par)
+		}
+		msg := err.Error()
+		for _, want := range []string{"2 of 3 tuples failed", "ghost1", "ghost2"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("parallelism %d: error %q does not mention %q", par, msg, want)
+			}
+		}
+	}
+}
+
+// TestProbabilitiesParallelEmpty checks the empty-relation edge case.
+func TestProbabilitiesParallelEmpty(t *testing.T) {
+	db := pvc.NewDatabase(algebra.Boolean)
+	rel := pvc.NewRelation("empty", pvc.Schema{{Name: "a", Type: pvc.TValue}})
+	got, err := engine.ProbabilitiesParallel(db, rel, compile.Options{}, engine.ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no results, got %d", len(got))
+	}
+}
+
+// TestRunParallelMatchesRun checks the end-to-end parallel entry point
+// against Run on a TPC-H-style figure-1 workload.
+func TestRunParallelMatchesRun(t *testing.T) {
+	inst := gen.MustNewDB(gen.DBParams{Tuples: 5, Seed: 21})
+	rel, seq, _, err := engine.Run(inst.DB, inst.Plan, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relP, par, _, err := engine.RunParallel(inst.DB, inst.Plan, compile.Options{},
+		engine.ParallelOptions{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != relP.Len() || len(seq) != len(par) {
+		t.Fatalf("result sizes differ: %d/%d tuples, %d/%d results", rel.Len(), relP.Len(), len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Tuple.Key() != par[i].Tuple.Key() {
+			t.Fatalf("tuple %d: key %q != %q", i, seq[i].Tuple.Key(), par[i].Tuple.Key())
+		}
+		if diff := seq[i].Confidence - par[i].Confidence; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("tuple %d: confidence %v != %v", i, seq[i].Confidence, par[i].Confidence)
+		}
+	}
+}

@@ -28,21 +28,9 @@ type TupleResult struct {
 // pair separates expression construction (⟦·⟧) from probability
 // computation (P(·)), the quantities Experiment F reports.
 func Run(db *pvc.Database, plan Plan, opts compile.Options) (*pvc.Relation, []TupleResult, RunTiming, error) {
-	var timing RunTiming
-	t0 := time.Now()
-	rel, err := plan.Eval(db)
-	if err != nil {
-		return nil, nil, timing, err
-	}
-	rel.Sort()
-	timing.Construct = time.Since(t0)
-	t1 := time.Now()
-	results, err := Probabilities(db, rel, opts)
-	if err != nil {
-		return nil, nil, timing, err
-	}
-	timing.Probability = time.Since(t1)
-	return rel, results, timing, nil
+	return runWith(db, plan, func(rel *pvc.Relation) ([]TupleResult, error) {
+		return Probabilities(db, rel, opts)
+	})
 }
 
 // RunTiming separates the costs of the two evaluation steps.
@@ -56,46 +44,82 @@ type RunTiming struct {
 // compilation (Section 5).
 func Probabilities(db *pvc.Database, rel *pvc.Relation, opts compile.Options) ([]TupleResult, error) {
 	p := &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts}
-	var moduleCols []int
-	for i, c := range rel.Schema {
-		if c.Type == pvc.TModule {
-			moduleCols = append(moduleCols, i)
-		}
-	}
+	pr := prober{pl: p, par: 1}
+	moduleCols := moduleColumns(rel.Schema)
 	out := make([]TupleResult, 0, len(rel.Tuples))
 	for _, t := range rel.Tuples {
-		conf, rep, err := p.TruthProbability(t.Ann)
+		res, err := tupleResult(pr, t, moduleCols)
 		if err != nil {
-			return nil, fmt.Errorf("engine: annotation of tuple %s: %w", t.Key(), err)
-		}
-		res := TupleResult{Tuple: t, Confidence: conf, Report: rep}
-		for _, ci := range moduleCols {
-			cell := t.Cells[ci]
-			var e expr.Expr
-			switch cell.Kind() {
-			case pvc.KindExpr:
-				e = cell.Expr()
-			case pvc.KindValue:
-				e = expr.MConst{V: cell.Value()}
-			default:
-				return nil, fmt.Errorf("engine: aggregation column holds string cell %s", cell)
-			}
-			d, rep2, err := p.Distribution(e)
-			if err != nil {
-				return nil, fmt.Errorf("engine: aggregation value %s: %w", expr.String(e), err)
-			}
-			res.AggDists = append(res.AggDists, d)
-			res.Report.Compile.Nodes += rep2.Compile.Nodes
-			res.Report.Eval.NodeEvals += rep2.Eval.NodeEvals
-			if rep2.Eval.MaxDistSize > res.Report.Eval.MaxDistSize {
-				res.Report.Eval.MaxDistSize = rep2.Eval.MaxDistSize
-			}
-			res.Report.CompileTime += rep2.CompileTime
-			res.Report.EvalTime += rep2.EvalTime
+			return nil, err
 		}
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// moduleColumns returns the indices of the TModule columns of a schema,
+// in schema order.
+func moduleColumns(schema pvc.Schema) []int {
+	var cols []int
+	for i, c := range schema {
+		if c.Type == pvc.TModule {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// prober routes one tuple's distribution computations through either the
+// sequential or the parallel compilation path (par > 1).
+type prober struct {
+	pl  *core.Pipeline
+	par int
+}
+
+func (pr prober) distribution(e expr.Expr) (prob.Dist, core.Report, error) {
+	if pr.par > 1 {
+		return pr.pl.DistributionParallel(e, pr.par)
+	}
+	return pr.pl.Distribution(e)
+}
+
+// tupleResult computes the probabilistic interpretation of one result
+// tuple: its confidence and the marginal distribution of every
+// aggregation column. Errors identify the tuple.
+func tupleResult(pr prober, t pvc.Tuple, moduleCols []int) (TupleResult, error) {
+	if t.Ann.Kind() != expr.KindSemiring {
+		return TupleResult{}, fmt.Errorf("engine: annotation of tuple %s is not a semiring expression", t.Key())
+	}
+	d, rep, err := pr.distribution(t.Ann)
+	if err != nil {
+		return TupleResult{}, fmt.Errorf("engine: annotation of tuple %s: %w", t.Key(), err)
+	}
+	res := TupleResult{Tuple: t, Confidence: d.TruthProbability(), Report: rep}
+	for _, ci := range moduleCols {
+		cell := t.Cells[ci]
+		var e expr.Expr
+		switch cell.Kind() {
+		case pvc.KindExpr:
+			e = cell.Expr()
+		case pvc.KindValue:
+			e = expr.MConst{V: cell.Value()}
+		default:
+			return TupleResult{}, fmt.Errorf("engine: aggregation column holds string cell %s", cell)
+		}
+		d, rep2, err := pr.distribution(e)
+		if err != nil {
+			return TupleResult{}, fmt.Errorf("engine: aggregation value %s: %w", expr.String(e), err)
+		}
+		res.AggDists = append(res.AggDists, d)
+		res.Report.Compile.Nodes += rep2.Compile.Nodes
+		res.Report.Eval.NodeEvals += rep2.Eval.NodeEvals
+		if rep2.Eval.MaxDistSize > res.Report.Eval.MaxDistSize {
+			res.Report.Eval.MaxDistSize = rep2.Eval.MaxDistSize
+		}
+		res.Report.CompileTime += rep2.CompileTime
+		res.Report.EvalTime += rep2.EvalTime
+	}
+	return res, nil
 }
 
 // JointResult computes the joint distribution of a tuple's annotation and

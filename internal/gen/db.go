@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// This file generates random pvc-databases with query plans over them —
+// the workload of the possible-worlds differential test harness. The
+// databases are small tuple-independent tables (so brute-force
+// enumeration stays feasible per result tuple) and the plans exercise
+// every operator combination the engine's probability step sees: joins
+// and unions feeding grouping/aggregation under each monoid, optionally
+// followed by a selection on the aggregate (which multiplies conditional
+// expressions into the annotations) and a final projection.
+
+// DBParams parameterise the random database/plan generator.
+type DBParams struct {
+	Tuples  int     // tuples per base table (0 ⇒ 4)
+	Domain  int64   // group-key values drawn from [0, Domain) (0 ⇒ 3)
+	MaxV    int64   // aggregated values drawn from [0, MaxV] (0 ⇒ 20)
+	VarProb float64 // tuple marginal probability (0 ⇒ 0.5)
+	Seed    int64   // deterministic generator seed
+}
+
+func (p DBParams) withDefaults() DBParams {
+	if p.Tuples == 0 {
+		p.Tuples = 4
+	}
+	if p.Domain == 0 {
+		p.Domain = 3
+	}
+	if p.MaxV == 0 {
+		p.MaxV = 20
+	}
+	if p.VarProb == 0 {
+		p.VarProb = 0.5
+	}
+	return p
+}
+
+// Validate checks parameter sanity.
+func (p DBParams) Validate() error {
+	if p.Tuples < 0 || p.Domain < 0 || p.MaxV < 0 {
+		return fmt.Errorf("gen: negative DBParams %+v", p)
+	}
+	if p.VarProb < 0 || p.VarProb > 1 {
+		return fmt.Errorf("gen: variable probability %v out of range", p.VarProb)
+	}
+	return nil
+}
+
+// DBInstance is one generated database with a plan over it.
+type DBInstance struct {
+	DB     *pvc.Database
+	Plan   engine.Plan
+	Params DBParams
+}
+
+// NewDB generates a random tuple-independent pvc-database (tables
+// R(a,b), S(a,c), T(a,b)) and a random aggregation plan over it,
+// deterministically from p.Seed.
+func NewDB(p DBParams) (DBInstance, error) {
+	if err := p.Validate(); err != nil {
+		return DBInstance{}, err
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := pvc.NewDatabase(algebra.Boolean)
+
+	table := func(name string, valueCol string) (*pvc.Relation, error) {
+		rel := pvc.NewRelation(name, pvc.Schema{
+			{Name: "a", Type: pvc.TValue},
+			{Name: valueCol, Type: pvc.TValue},
+		})
+		for i := 0; i < p.Tuples; i++ {
+			cells := []pvc.Cell{
+				pvc.IntCell(rng.Int63n(p.Domain)),
+				pvc.IntCell(rng.Int63n(p.MaxV + 1)),
+			}
+			if _, err := db.InsertIndependent(rel, p.VarProb, cells...); err != nil {
+				return nil, err
+			}
+		}
+		db.Add(rel)
+		return rel, nil
+	}
+	if _, err := table("R", "b"); err != nil {
+		return DBInstance{}, err
+	}
+	if _, err := table("S", "c"); err != nil {
+		return DBInstance{}, err
+	}
+	if _, err := table("T", "b"); err != nil {
+		return DBInstance{}, err
+	}
+
+	// Input shape: a scan, a join, a union, or a constant-column select.
+	var input engine.Plan
+	over := "b"
+	switch rng.Intn(4) {
+	case 0:
+		input = &engine.Scan{Table: "R"}
+	case 1:
+		input = &engine.Join{L: &engine.Scan{Table: "R"}, R: &engine.Scan{Table: "S"}}
+		if rng.Intn(2) == 0 {
+			over = "c"
+		}
+	case 2:
+		input = &engine.Union{L: &engine.Scan{Table: "R"}, R: &engine.Scan{Table: "T"}}
+	default:
+		input = &engine.Select{
+			Pred:  engine.Where(engine.ColTheta("b", value.LE, pvc.IntCell(rng.Int63n(p.MaxV+1)))),
+			Input: &engine.Scan{Table: "R"},
+		}
+	}
+
+	aggs := []algebra.Agg{algebra.Min, algebra.Max, algebra.Sum, algebra.Count}
+	agg := aggs[rng.Intn(len(aggs))]
+	var plan engine.Plan = &engine.GroupAgg{
+		Input:   input,
+		GroupBy: []string{"a"},
+		Aggs:    []engine.AggSpec{{Out: "X", Agg: agg, Over: over}},
+	}
+
+	// Optionally select on the aggregate — this multiplies a conditional
+	// expression [X θ c] into every annotation.
+	selected := false
+	if rng.Intn(2) == 0 {
+		selected = true
+		thetas := []value.Theta{value.LE, value.GE, value.EQ}
+		plan = &engine.Select{
+			Pred: engine.Where(engine.ColTheta("X",
+				thetas[rng.Intn(len(thetas))],
+				pvc.IntCell(rng.Int63n(p.MaxV+1)))),
+			Input: plan,
+		}
+	}
+	// Optionally project the aggregate away, leaving confidence-only
+	// tuples whose annotations sum the conditions per group key.
+	if selected && rng.Intn(3) == 0 {
+		plan = &engine.Project{Cols: []string{"a"}, Input: plan}
+	}
+	return DBInstance{DB: db, Plan: plan, Params: p}, nil
+}
+
+// MustNewDB is NewDB for parameters known valid.
+func MustNewDB(p DBParams) DBInstance {
+	inst, err := NewDB(p)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDBDeterministic(t *testing.T) {
+	a := MustNewDB(DBParams{Seed: 5})
+	b := MustNewDB(DBParams{Seed: 5})
+	if a.Plan.String() != b.Plan.String() {
+		t.Fatalf("plans differ for one seed: %s vs %s", a.Plan, b.Plan)
+	}
+	ra, err := a.Plan.Eval(a.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Plan.Eval(b.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Sort()
+	rb.Sort()
+	if ra.String() != rb.String() {
+		t.Fatalf("results differ for one seed:\n%s\nvs\n%s", ra, rb)
+	}
+}
+
+func TestNewDBCoverage(t *testing.T) {
+	shapes := map[string]int{}
+	for seed := int64(1); seed <= 60; seed++ {
+		inst := MustNewDB(DBParams{Seed: seed})
+		if _, err := inst.Plan.Eval(inst.DB); err != nil {
+			t.Fatalf("seed %d: plan %s: %v", seed, inst.Plan, err)
+		}
+		s := inst.Plan.String()
+		switch {
+		case strings.Contains(s, "⋈"):
+			shapes["join"]++
+		case strings.Contains(s, "∪"):
+			shapes["union"]++
+		default:
+			shapes["other"]++
+		}
+	}
+	if shapes["join"] == 0 || shapes["union"] == 0 {
+		t.Fatalf("generator never produced joins or unions: %v", shapes)
+	}
+}
+
+func TestNewDBValidates(t *testing.T) {
+	if _, err := NewDB(DBParams{VarProb: 2}); err == nil {
+		t.Fatal("expected error for out-of-range probability")
+	}
+	if _, err := NewDB(DBParams{Tuples: -1}); err == nil {
+		t.Fatal("expected error for negative tuple count")
+	}
+}

@@ -26,6 +26,28 @@
 //	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
 //	d, _, _ := p.Distribution(e)
 //	fmt.Println(d) // {(0, 0.5), (1, 0.5)}
+//
+// # Parallel execution
+//
+// The compile→evaluate pipeline is embarrassingly parallel at the tuple
+// level: every result tuple's annotation and aggregation expressions
+// compile and evaluate independently, sharing only the read-only
+// variable registry. RunParallel distributes the probability step of a
+// query over a bounded worker pool (default runtime.GOMAXPROCS(0)), and
+// when tuples are scarcer than workers the leftover parallelism moves
+// inside each tuple's compilation, fanning the branches of Shannon
+// expansions ⊔x out over a shared, mutex-striped memo table so the
+// d-tree stays a DAG across goroutines. The decomposition rules and all
+// heuristics are deterministic, so parallel runs return the same
+// probabilities as sequential ones.
+//
+//	rel, results, timing, err := pvcagg.RunParallel(db, plan,
+//		pvcagg.ParallelOptions{}) // Parallelism: 0 ⇒ GOMAXPROCS
+//
+// A single hard expression can likewise be compiled in parallel:
+//
+//	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
+//	d, rep, err := p.DistributionParallel(e, 8) // at most 8 goroutines
 package pvcagg
 
 import (
@@ -222,6 +244,29 @@ func Run(db *Database, plan Plan) (*Relation, []TupleResult, RunTiming, error) {
 // RunWithOptions is Run with explicit compilation options.
 func RunWithOptions(db *Database, plan Plan, opts CompileOptions) (*Relation, []TupleResult, RunTiming, error) {
 	return engine.Run(db, plan, opts)
+}
+
+// ParallelOptions configure batched parallel probability computation
+// (see the "Parallel execution" package-doc section).
+type ParallelOptions = engine.ParallelOptions
+
+// RunParallel is Run with the probability step distributed over a
+// bounded worker pool. Results are identical to Run's; failing tuples
+// are all reported, joined into one error.
+func RunParallel(db *Database, plan Plan, par ParallelOptions) (*Relation, []TupleResult, RunTiming, error) {
+	return engine.RunParallel(db, plan, compile.Options{}, par)
+}
+
+// RunParallelWithOptions is RunParallel with explicit compilation
+// options.
+func RunParallelWithOptions(db *Database, plan Plan, opts CompileOptions, par ParallelOptions) (*Relation, []TupleResult, RunTiming, error) {
+	return engine.RunParallel(db, plan, opts, par)
+}
+
+// ProbabilitiesParallel computes the probability of every tuple of an
+// already-evaluated pvc-table with the given parallelism.
+func ProbabilitiesParallel(db *Database, rel *Relation, opts CompileOptions, par ParallelOptions) ([]TupleResult, error) {
+	return engine.ProbabilitiesParallel(db, rel, opts, par)
 }
 
 // Tractability analysis (Section 6).

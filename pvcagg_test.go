@@ -91,6 +91,67 @@ func TestFacadeBaselinesAgree(t *testing.T) {
 	}
 }
 
+// The "Parallel execution" example from the package documentation: the
+// parallel entry points return the same probabilities as the sequential
+// ones.
+func TestFacadeParallel(t *testing.T) {
+	reg := pvcagg.NewRegistry()
+	reg.DeclareBool("x", 0.5)
+	reg.DeclareBool("y", 0.5)
+	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
+	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
+	seq, _, err := p.Distribution(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := p.DistributionParallel(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(seq, 1e-12) {
+		t.Errorf("parallel %v != sequential %v", par, seq)
+	}
+
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	r := pvcagg.NewRelation("R", pvcagg.Schema{
+		{Name: "a", Type: pvcagg.TValue},
+		{Name: "b", Type: pvcagg.TValue},
+	})
+	for i := int64(0); i < 6; i++ {
+		db.Registry.DeclareBool(
+			r.Name+"_v"+string(rune('a'+i)), 0.5)
+		r.MustInsert(pvcagg.MustParseExpr(r.Name+"_v"+string(rune('a'+i))),
+			pvcagg.IntCell(i%2), pvcagg.IntCell(i*10))
+	}
+	db.Add(r)
+	plan := &pvcagg.GroupAgg{
+		Input:   &pvcagg.Scan{Table: "R"},
+		GroupBy: []string{"a"},
+		Aggs:    []pvcagg.AggSpec{{Out: "S", Agg: pvcagg.SUM, Over: "b"}},
+	}
+	_, seqRes, _, err := pvcagg.Run(db, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parRes, _, err := pvcagg.RunParallel(db, plan, pvcagg.ParallelOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parRes) != len(seqRes) {
+		t.Fatalf("%d parallel results, want %d", len(parRes), len(seqRes))
+	}
+	for i := range seqRes {
+		if math.Abs(parRes[i].Confidence-seqRes[i].Confidence) > 1e-12 {
+			t.Errorf("tuple %d: confidence %v != %v", i, parRes[i].Confidence, seqRes[i].Confidence)
+		}
+		for j := range seqRes[i].AggDists {
+			if !parRes[i].AggDists[j].Equal(seqRes[i].AggDists[j], 1e-12) {
+				t.Errorf("tuple %d agg %d: %v != %v", i, j, parRes[i].AggDists[j], seqRes[i].AggDists[j])
+			}
+		}
+	}
+}
+
 func TestFacadeGenerator(t *testing.T) {
 	inst, err := pvcagg.Generate(pvcagg.GenParams{
 		L: 4, NumVars: 5, NumClauses: 2, NumLiterals: 2,
