@@ -295,6 +295,46 @@ func BenchmarkParallelCompile(b *testing.B) {
 	})
 }
 
+// BenchmarkApproxVsExact: the anytime approximate engine against exact
+// compilation on a hard two-sided comparison with skewed marginals — the
+// regime where unexpanded Shannon branches carry little probability mass
+// and the anytime engine converges after expanding a fraction of the
+// d-tree. The reported ratio is the anytime speedup at each ε.
+func BenchmarkApproxVsExact(b *testing.B) {
+	p := benchBase()
+	p.NumClauses = 2
+	p.NumLiterals = 2
+	p.AggL, p.AggR = algebra.Min, algebra.Count
+	p.L, p.R = 30, 15
+	p.NumVars = 20
+	p.Theta = value.LE
+	p.VarProb = 0.95
+	p.Seed = 1
+	inst := gen.MustNew(p)
+	pl := core.New(algebra.Boolean, inst.Registry)
+	pl.Options = compile.Options{MaxNodes: 20_000_000}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pl.Distribution(inst.Expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, eps := range []float64{0.05, 0.01} {
+		b.Run(fmt.Sprintf("approx/eps=%g", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, rep, err := pl.TruthProbabilityApprox(inst.Expr, compile.ApproxOptions{Eps: eps})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+		})
+	}
+}
+
 // Ablation benchmarks for the design choices called out in DESIGN.md.
 
 func ablationParams() gen.Params {

@@ -10,6 +10,7 @@
 //	experiments -preset paper   # the paper's exact parameters (slow!)
 //	experiments -runs 10        # runs per point
 //	experiments -parallel 0     # parallel compile/probability (GOMAXPROCS)
+//	experiments -eps 0.05       # anytime approximate engine at bound width ε
 package main
 
 import (
@@ -31,10 +32,17 @@ func main() {
 		preset   = flag.String("preset", "quick", "parameter preset: quick or paper")
 		runs     = flag.Int("runs", 5, "runs per measured point")
 		parallel = flag.Int("parallel", 1, "compilation/probability parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		eps      = flag.Float64("eps", 0, "anytime bound width; > 0 measures the approximate engine")
 	)
 	flag.Parse()
 	if *parallel == 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+	if *eps > 0 && *parallel > 1 {
+		// Experiments A–E measure single expressions; the anytime engine's
+		// expansion loop is sequential, so -parallel only affects
+		// Experiment F's per-tuple fan-out there.
+		fmt.Fprintln(os.Stderr, "experiments: note: with -eps > 0, -parallel applies only to Experiment F")
 	}
 
 	var base gen.Params
@@ -47,7 +55,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown preset %q\n", *preset)
 		os.Exit(2)
 	}
-	o := benchx.Options{Runs: *runs, Parallel: *parallel}
+	o := benchx.Options{Runs: *runs, Parallel: *parallel, Eps: *eps}
 	w := os.Stdout
 	want := strings.ToUpper(*exp)
 	run := func(name string) bool { return want == "ALL" || want == name }
@@ -145,7 +153,7 @@ func main() {
 		if *preset == "paper" {
 			sfs = []float64{0.005, 0.01, 0.02, 0.05, 0.1}
 		}
-		pts, err := benchx.ExperimentF(sfs, 1, *parallel)
+		pts, err := benchx.ExperimentF(sfs, 1, *parallel, *eps)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)

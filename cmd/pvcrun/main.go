@@ -8,6 +8,7 @@
 //	pvcrun -demo shop  -p 0.5              # Figure 1 database, queries Q1/Q2
 //	pvcrun -demo tpch  -sf 0.001           # TPC-H Q1 and Q2
 //	pvcrun -demo tpch  -sf 0.001 -parallel 0  # parallel probability step (GOMAXPROCS)
+//	pvcrun -demo shop  -eps 0.01           # anytime bounds of width ≤ 0.01
 package main
 
 import (
@@ -25,28 +26,85 @@ func main() {
 		p        = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
 		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
 		parallel = flag.Int("parallel", 1, "probability-step parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		eps      = flag.Float64("eps", 0, "anytime confidence-bound width; > 0 selects the approximate engine")
 	)
 	flag.Parse()
 	switch *demo {
 	case "shop":
-		runShop(*p, *parallel)
+		runShop(*p, *parallel, *eps)
 	case "tpch":
-		runTPCH(*sf, *parallel)
+		runTPCH(*sf, *parallel, *eps)
 	default:
 		fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
 		os.Exit(2)
 	}
 }
 
-// runPlan dispatches to the sequential or parallel entry point.
-func runPlan(db *pvcagg.Database, plan pvcagg.Plan, parallel int) (*pvcagg.Relation, []pvcagg.TupleResult, pvcagg.RunTiming, error) {
-	if parallel == 1 {
-		return pvcagg.Run(db, plan)
-	}
-	return pvcagg.RunParallel(db, plan, pvcagg.ParallelOptions{Parallelism: parallel})
+// answer is one printed result row: exact confidence (Lo == Hi) or
+// anytime bounds, plus the expectation of the first aggregation column
+// when present.
+type answer struct {
+	tuple  pvcagg.Tuple
+	conf   pvcagg.Bounds
+	agg    float64
+	hasAgg bool
 }
 
-func runShop(p float64, parallel int) {
+// newAnswer flattens one result tuple into a printed row.
+func newAnswer(t pvcagg.Tuple, conf pvcagg.Bounds, aggDists []pvcagg.Dist) answer {
+	a := answer{tuple: t, conf: conf}
+	if len(aggDists) > 0 {
+		a.agg, a.hasAgg = aggDists[0].Expectation(), true
+	}
+	return a
+}
+
+// runPlan dispatches to the exact (sequential or parallel) or anytime
+// entry point, flattening the per-tuple results for printing.
+func runPlan(db *pvcagg.Database, plan pvcagg.Plan, parallel int, eps float64) (*pvcagg.Relation, []answer, pvcagg.RunTiming, error) {
+	par := pvcagg.ParallelOptions{Parallelism: parallel}
+	if eps > 0 {
+		rel, results, timing, err := pvcagg.RunApprox(db, plan, pvcagg.ApproxOptions{Eps: eps}, par)
+		if err != nil {
+			return nil, nil, timing, err
+		}
+		out := make([]answer, len(results))
+		for i, r := range results {
+			out[i] = newAnswer(r.Tuple, r.Confidence, r.AggDists)
+		}
+		return rel, out, timing, nil
+	}
+	var (
+		rel     *pvcagg.Relation
+		results []pvcagg.TupleResult
+		timing  pvcagg.RunTiming
+		err     error
+	)
+	if parallel == 1 {
+		rel, results, timing, err = pvcagg.Run(db, plan)
+	} else {
+		rel, results, timing, err = pvcagg.RunParallel(db, plan, par)
+	}
+	if err != nil {
+		return nil, nil, timing, err
+	}
+	out := make([]answer, len(results))
+	for i, r := range results {
+		out[i] = newAnswer(r.Tuple, pvcagg.Bounds{Lo: r.Confidence, Hi: r.Confidence}, r.AggDists)
+	}
+	return rel, out, timing, nil
+}
+
+// confString renders an exact confidence as a number and anytime bounds as
+// an interval.
+func confString(b pvcagg.Bounds) string {
+	if b.Lo == b.Hi {
+		return fmt.Sprintf("%.6g", b.Lo)
+	}
+	return b.String()
+}
+
+func runShop(p float64, parallel int, eps float64) {
 	db := shopDB(p)
 	q1 := &pvcagg.Project{
 		Cols: []string{"shop", "price"},
@@ -72,19 +130,19 @@ func runShop(p float64, parallel int) {
 	}{{"Q1", q1}, {"Q2", q2}} {
 		fmt.Printf("== %s = %s\n", q.name, q.plan)
 		fmt.Printf("   class: %v\n", pvcagg.Classify(q.plan, db))
-		rel, results, timing, err := runPlan(db, q.plan, parallel)
+		rel, results, timing, err := runPlan(db, q.plan, parallel, eps)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(rel)
 		for _, r := range results {
-			fmt.Printf("   P[%v] = %.6g\n", cellsOf(r.Tuple), r.Confidence)
+			fmt.Printf("   P[%v] = %s\n", cellsOf(r.tuple), confString(r.conf))
 		}
 		fmt.Printf("   ⟦·⟧ %v, P(·) %v\n\n", timing.Construct, timing.Probability)
 	}
 }
 
-func runTPCH(sf float64, parallel int) {
+func runTPCH(sf float64, parallel int, eps float64) {
 	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
 	if err != nil {
 		fatal(err)
@@ -97,7 +155,7 @@ func runTPCH(sf float64, parallel int) {
 		{"TPC-H Q2", tpch.Q2(1, "AFRICA")},
 	} {
 		fmt.Printf("== %s\n", q.name)
-		rel, results, timing, err := runPlan(db, q.plan, parallel)
+		rel, results, timing, err := runPlan(db, q.plan, parallel, eps)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,9 +165,9 @@ func runTPCH(sf float64, parallel int) {
 				fmt.Printf("   … %d more\n", len(results)-i)
 				break
 			}
-			fmt.Printf("   P[%v] = %.6g", cellsOf(r.Tuple), r.Confidence)
-			if len(r.AggDists) > 0 {
-				fmt.Printf("  E[agg] = %.6g", r.AggDists[0].Expectation())
+			fmt.Printf("   P[%v] = %s", cellsOf(r.tuple), confString(r.conf))
+			if r.hasAgg {
+				fmt.Printf("  E[agg] = %.6g", r.agg)
 			}
 			fmt.Println()
 		}

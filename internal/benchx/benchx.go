@@ -45,6 +45,12 @@ type Options struct {
 	// Parallel is the compilation parallelism per run: 1 (or 0) keeps
 	// the sequential path; > 1 measures the parallel compiler instead.
 	Parallel int
+	// Eps > 0 measures the anytime approximate engine at that target
+	// bound width instead of exact compilation; the Nodes column then
+	// reports the anytime work proxy (partial-tree plus closure nodes),
+	// unconverged runs count as failed, and Parallel is ignored (the
+	// anytime expansion loop is sequential per expression).
+	Eps float64
 }
 
 func (o Options) orDefault() Options {
@@ -72,19 +78,34 @@ func measure(p gen.Params, o Options) Point {
 			Options:  compile.Options{MaxNodes: o.MaxNodes},
 		}
 		t0 := time.Now()
-		var rep core.Report
+		runNodes := 0
 		var err error
-		if o.Parallel > 1 {
-			_, rep, err = pl.DistributionParallel(inst.Expr, o.Parallel)
+		if o.Eps > 0 {
+			var arep compile.ApproxReport
+			_, arep, err = pl.TruthProbabilityApprox(inst.Expr, compile.ApproxOptions{Eps: o.Eps, MaxNodes: o.MaxNodes})
+			runNodes = arep.TotalNodes()
+			if err == nil && !arep.Converged {
+				// A budget-exhausted anytime run is the analogue of the
+				// exact path's MaxNodes abort: count it as failed rather
+				// than averaging its truncated time into the series.
+				failed++
+				continue
+			}
 		} else {
-			_, rep, err = pl.Distribution(inst.Expr)
+			var rep core.Report
+			if o.Parallel > 1 {
+				_, rep, err = pl.DistributionParallel(inst.Expr, o.Parallel)
+			} else {
+				_, rep, err = pl.Distribution(inst.Expr)
+			}
+			runNodes = rep.Tree.Nodes
 		}
 		if err != nil {
 			failed++
 			continue
 		}
 		times = append(times, time.Since(t0))
-		nodes += rep.Tree.Nodes
+		nodes += runNodes
 	}
 	pt := Point{Runs: len(times), Failed: failed}
 	if len(times) > 0 {
@@ -228,8 +249,9 @@ type FPoint struct {
 // factors, separating deterministic evaluation (Q0), expression
 // construction (⟦·⟧) and probability computation (P(·)). With
 // parallelism > 1 the probability step runs on the batched parallel
-// engine.
-func ExperimentF(sfs []float64, seed int64, parallelism int) ([]FPoint, error) {
+// engine; with eps > 0 it runs on the anytime approximate engine at that
+// per-tuple bound width.
+func ExperimentF(sfs []float64, seed int64, parallelism int, eps float64) ([]FPoint, error) {
 	var out []FPoint
 	for _, sf := range sfs {
 		det, err := tpch.Generate(tpch.Config{SF: sf, Seed: seed})
@@ -256,10 +278,14 @@ func ExperimentF(sfs []float64, seed int64, parallelism int) ([]FPoint, error) {
 			q0 := time.Since(t0)
 			var rel *pvc.Relation
 			var timing engine.RunTiming
-			if parallelism > 1 {
+			switch {
+			case eps > 0:
+				rel, _, timing, err = engine.RunApprox(prb, q.plan, compile.ApproxOptions{Eps: eps},
+					engine.ParallelOptions{Parallelism: parallelism})
+			case parallelism > 1:
 				rel, _, timing, err = engine.RunParallel(prb, q.plan, compile.Options{},
 					engine.ParallelOptions{Parallelism: parallelism})
-			} else {
+			default:
 				rel, _, timing, err = engine.Run(prb, q.plan, compile.Options{})
 			}
 			if err != nil {

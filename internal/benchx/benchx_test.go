@@ -74,7 +74,7 @@ func TestExperimentE(t *testing.T) {
 }
 
 func TestExperimentF(t *testing.T) {
-	pts, err := ExperimentF([]float64{0.0002}, 1, 2)
+	pts, err := ExperimentF([]float64{0.0002}, 1, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,713 @@
+package compile
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/dtree"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/value"
+	"pvcagg/internal/vars"
+)
+
+// This file implements the anytime approximate probability engine in the
+// spirit of the Fink/Olteanu line of anytime approximation: instead of
+// compiling a conditional expression into a complete d-tree (exponential in
+// the worst case, Section 5), the expression is expanded incrementally.
+// Every *uncompiled* frontier sub-expression contributes interval bounds
+// [lo, hi] on its truth probability to its parent; expanded regions
+// contribute exact point probabilities. The partial tree combines child
+// intervals with interval arithmetic that is sound for independent parts
+// (the same independence the exact decomposition rules exploit) and for
+// mutex (Shannon) expansions, so at every step the root interval brackets
+// the exact truth probability. A priority-driven frontier always expands
+// the leaf with the largest contribution to the root's bound width, and
+// expansion stops as soon as hi − lo ≤ ε (or a node/expansion/time budget
+// runs out). Frontier leaves whose residual expression is cheap are closed
+// exactly by the exact compiler under a small per-leaf node budget — this
+// is where the pruning rules and interval analysis of prune.go decide
+// comparisons outright and keep the expanded region tiny.
+
+// ErrNodeBudget is wrapped by compilation errors caused by the MaxNodes
+// budget (as opposed to malformed expressions); the anytime engine uses it
+// to distinguish "too hard for this budget" from genuine failures.
+var ErrNodeBudget = errors.New("node budget exceeded")
+
+// Bounds is an interval [Lo, Hi] guaranteed to contain the exact truth
+// probability of the approximated expression.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi − Lo, the approximation error guarantee.
+func (b Bounds) Width() float64 { return b.Hi - b.Lo }
+
+// Contains reports whether p lies in [Lo−tol, Hi+tol].
+func (b Bounds) Contains(p, tol float64) bool {
+	return p >= b.Lo-tol && p <= b.Hi+tol
+}
+
+// Point returns the exact interval [p, p].
+func Point(p float64) Bounds { return Bounds{p, p} }
+
+func (b Bounds) String() string {
+	return fmt.Sprintf("[%.6g, %.6g]", b.Lo, b.Hi)
+}
+
+// ApproxOptions configure anytime approximation. The zero value requests an
+// exact answer (Eps = 0) with default budgets.
+type ApproxOptions struct {
+	// Eps is the target bound width: expansion stops once Hi − Lo ≤ Eps.
+	// Eps = 0 computes the exact probability through the exact pipeline,
+	// bit-for-bit identical to Pipeline.TruthProbability.
+	Eps float64
+	// MaxLeafNodes is the initial d-tree node budget for closing one
+	// frontier leaf exactly (0 ⇒ 512). Leaves above the budget stay on
+	// the frontier and are refined by Shannon expansion; when expansion
+	// stops tightening the bounds, the budget doubles (iterative
+	// deepening), so expressions that are tractable for the exact
+	// compiler but larger than any fixed budget still close at a small
+	// constant factor of their exact cost.
+	MaxLeafNodes int
+	// MaxExpansions bounds the number of Shannon expansions of the
+	// frontier (0 ⇒ unlimited). When exhausted, the current (sound but
+	// possibly wider than Eps) bounds are returned with Converged = false.
+	MaxExpansions int
+	// MaxNodes bounds the total work (ApproxReport.TotalNodes):
+	// partial-tree nodes plus all d-tree nodes created by exact leaf
+	// closures, including failed budgeted attempts (0 ⇒ unlimited).
+	MaxNodes int
+	// Timeout bounds wall-clock time (0 ⇒ unlimited).
+	Timeout time.Duration
+	// Compile configures the exact compiler used for leaf closures and for
+	// the Eps = 0 fallback (its MaxNodes applies only to the fallback).
+	Compile Options
+	// OnBounds, when non-nil, observes the root bounds after every frontier
+	// expansion (first call: the initial bounds before any expansion). The
+	// sequence of observed intervals is monotonically tightening.
+	OnBounds func(Bounds)
+}
+
+func (o ApproxOptions) leafBudget() int {
+	if o.MaxLeafNodes <= 0 {
+		return 512
+	}
+	return o.MaxLeafNodes
+}
+
+// ApproxReport describes one anytime computation.
+type ApproxReport struct {
+	Bounds       Bounds
+	Converged    bool          // Width() ≤ Eps on return
+	Expansions   int           // Shannon expansions of frontier leaves
+	TreeNodes    int           // partial-tree nodes created
+	ExactNodes   int           // d-tree nodes of *successful* exact leaf closures (retained)
+	WastedNodes  int           // d-tree nodes of failed closure probes/attempts (discarded)
+	ExactLeaves  int           // frontier leaves closed exactly
+	FrontierOpen int           // unresolved frontier leaves on return
+	Elapsed      time.Duration // wall-clock time
+}
+
+// ExpandedNodes is the size of the partial compilation actually
+// materialised: partial-tree nodes plus the d-trees of successful leaf
+// closures. This is the quantity comparable against exact compilation's
+// d-tree node count.
+func (r ApproxReport) ExpandedNodes() int { return r.TreeNodes + r.ExactNodes }
+
+// TotalNodes is the total work proxy: expanded nodes plus the scratch
+// nodes of failed closure probes (compiled under a budget and discarded).
+// ApproxOptions.MaxNodes bounds this quantity.
+func (r ApproxReport) TotalNodes() int { return r.TreeNodes + r.ExactNodes + r.WastedNodes }
+
+// Approximate computes guaranteed bounds on the truth probability of the
+// semiring expression e (the probability that e is non-zero — the
+// confidence of a tuple annotated with e), expanding only as much of the
+// decomposition as the target width requires. The returned interval always
+// contains the exact probability; Converged reports whether the target was
+// reached within the budgets.
+func Approximate(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts ApproxOptions) (Bounds, ApproxReport, error) {
+	if e.Kind() != expr.KindSemiring {
+		return Bounds{}, ApproxReport{}, fmt.Errorf("compile: Approximate of a module expression %s", expr.String(e))
+	}
+	if opts.Eps < 0 || opts.Eps >= 1 {
+		return Bounds{}, ApproxReport{}, fmt.Errorf("compile: epsilon %v out of range [0, 1)", opts.Eps)
+	}
+	if err := expr.Validate(e); err != nil {
+		return Bounds{}, ApproxReport{}, err
+	}
+	if err := reg.CheckDeclared(e); err != nil {
+		return Bounds{}, ApproxReport{}, err
+	}
+	t0 := time.Now()
+	if opts.Eps == 0 {
+		// Exact fallback: the anytime engine's ε=0 contract is bit-for-bit
+		// agreement with the exact pipeline, so there is no partial result
+		// to return — MaxNodes becomes the exact compiler's node budget
+		// and exceeding it is an error. Timeout does not apply at ε = 0.
+		co := opts.Compile
+		if opts.MaxNodes > 0 && (co.MaxNodes == 0 || opts.MaxNodes < co.MaxNodes) {
+			co.MaxNodes = opts.MaxNodes
+		}
+		b, nodes, err := exactTruth(s, reg, e, co)
+		if err != nil {
+			return Bounds{}, ApproxReport{}, err
+		}
+		rep := ApproxReport{
+			Bounds: b, Converged: true, ExactLeaves: 1, ExactNodes: nodes,
+			Elapsed: time.Since(t0),
+		}
+		if opts.OnBounds != nil {
+			opts.OnBounds(b)
+		}
+		return b, rep, nil
+	}
+	ax := &approximator{s: s, reg: reg, opts: opts, memo: map[string]closure{}, tier: opts.leafBudget()}
+	root, err := ax.classify(expr.Simplify(e, s))
+	if err != nil {
+		return Bounds{}, ApproxReport{}, err
+	}
+	ax.root = root
+	if opts.OnBounds != nil {
+		opts.OnBounds(root.bounds())
+	}
+	if err := ax.run(t0); err != nil {
+		return Bounds{}, ApproxReport{}, err
+	}
+	b := root.bounds()
+	ax.rep.Bounds = b
+	ax.rep.Converged = b.Width() <= opts.Eps
+	ax.rep.FrontierOpen = ax.frontier.open()
+	ax.rep.Elapsed = time.Since(t0)
+	return b, ax.rep, nil
+}
+
+// exactTruth runs the exact compile→evaluate pipeline and returns the truth
+// probability as a point interval.
+func exactTruth(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts Options) (Bounds, int, error) {
+	c := New(s, reg, opts)
+	res, err := c.Compile(e)
+	if err != nil {
+		// The nodes created before a budget abort are real work; report
+		// them so ApproxReport and MaxNodes account for failed closures.
+		return Bounds{}, res.Stats.Nodes, err
+	}
+	d, _, err := dtree.Evaluate(res.Root, dtree.Env{Semiring: s, Registry: reg})
+	if err != nil {
+		return Bounds{}, res.Stats.Nodes, err
+	}
+	return Point(d.TruthProbability()), res.Stats.Nodes, nil
+}
+
+// Partial-tree node kinds. The tree mirrors the decomposition rules the
+// exact compiler applies, but carries probability intervals instead of
+// distributions: exact sub-results are point intervals, unexpanded
+// sub-expressions are frontier leaves with a priori bounds.
+type anodeKind int
+
+const (
+	nkPoint    anodeKind = iota // resolved: lo == hi
+	nkFrontier                  // uncompiled sub-expression
+	nkMix                       // ⊔x: mutex mixture of branches
+	nkOr                        // independent sum (truth = disjunction)
+	nkAnd                       // independent product (truth = conjunction)
+)
+
+type anode struct {
+	kind     anodeKind
+	lo, hi   float64
+	e        expr.Expr // frontier only: the residual sub-expression
+	parent   *anode
+	children []*anode
+	weights  []float64 // mix only: branch probabilities
+	// heap bookkeeping for frontier leaves (lazy priority queue).
+	prio float64
+}
+
+func (n *anode) bounds() Bounds { return Bounds{n.lo, n.hi} }
+
+// recompute refreshes [lo, hi] of an inner node from its children:
+//
+//	⊔x:  lo = Σ pi·loi          hi = Σ pi·hii          (Eq. (10))
+//	or:  lo = 1 − Π (1 − loi)   hi = 1 − Π (1 − hii)   (independent parts)
+//	and: lo = Π loi             hi = Π hii
+//
+// The or/and rules are the truth-probability images of the exact ⊕/⊙
+// convolutions: over non-negative carriers a sum is non-zero iff some
+// summand is, and a product is non-zero iff every factor is.
+func (n *anode) recompute() {
+	switch n.kind {
+	case nkPoint, nkFrontier:
+		return
+	case nkMix:
+		lo, hi := 0.0, 0.0
+		for i, c := range n.children {
+			lo += n.weights[i] * c.lo
+			hi += n.weights[i] * c.hi
+		}
+		n.lo, n.hi = clamp01(lo), clamp01(hi)
+	case nkOr:
+		plo, phi := 1.0, 1.0
+		for _, c := range n.children {
+			plo *= 1 - c.lo
+			phi *= 1 - c.hi
+		}
+		n.lo, n.hi = clamp01(1-plo), clamp01(1-phi)
+	case nkAnd:
+		lo, hi := 1.0, 1.0
+		for _, c := range n.children {
+			lo *= c.lo
+			hi *= c.hi
+		}
+		n.lo, n.hi = clamp01(lo), clamp01(hi)
+	}
+	if n.hi < n.lo { // float round-off on the combination rules
+		n.hi = n.lo
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// contribution estimates how much of the root's bound width is attributable
+// to leaf n: its own width scaled by the sensitivity of the root interval to
+// n along the parent chain — branch probability through ⊔, the product of
+// the siblings' residual upper slack through or/and. Sibling bounds only
+// tighten over time, so a leaf's contribution never increases; the frontier
+// heap exploits this monotonicity for lazy priority maintenance.
+func (n *anode) contribution() float64 {
+	w := n.hi - n.lo
+	child := n
+	for p := child.parent; p != nil && w > 0; p = child.parent {
+		switch p.kind {
+		case nkMix:
+			for i, c := range p.children {
+				if c == child {
+					w *= p.weights[i]
+					break
+				}
+			}
+		case nkOr:
+			for _, c := range p.children {
+				if c != child {
+					w *= 1 - c.lo
+				}
+			}
+		case nkAnd:
+			for _, c := range p.children {
+				if c != child {
+					w *= c.hi
+				}
+			}
+		}
+		child = p
+	}
+	return w
+}
+
+// frontierHeap is a max-heap of open frontier leaves ordered by (possibly
+// stale) contribution. Priorities only decrease, so a popped leaf whose
+// fresh contribution still beats the next entry is safe to expand.
+type frontierHeap []*anode
+
+func (h frontierHeap) Len() int           { return len(h) }
+func (h frontierHeap) Less(i, j int) bool { return h[i].prio > h[j].prio }
+func (h frontierHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *frontierHeap) Push(x any)        { *h = append(*h, x.(*anode)) }
+func (h *frontierHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+func (h frontierHeap) open() int {
+	n := 0
+	for _, l := range h {
+		if l.kind == nkFrontier {
+			n++
+		}
+	}
+	return n
+}
+
+type approximator struct {
+	s        algebra.Semiring
+	reg      *vars.Registry
+	opts     ApproxOptions
+	root     *anode
+	frontier frontierHeap
+	rep      ApproxReport
+	// Iterative deepening of the closure budget: tier is the node budget
+	// invested when a popped frontier leaf is closed exactly. It starts at
+	// MaxLeafNodes; when stagnationWindow expansions pass without the root
+	// width improving — the signature of an expression that Shannon
+	// expansion cannot decide but a bigger exact compile can — escalation
+	// arms, and each failed escalated attempt doubles the tier. Failed
+	// escalated work is capped at a fraction of the total work done, so a
+	// frontier that does not benefit from bigger closures cannot burn more
+	// than a constant factor of the useful node count.
+	tier         int
+	escArmed     bool
+	escFailed    int     // nodes spent on failed escalated closure attempts
+	initWidth    float64 // root width before any expansion
+	lastWidth    float64
+	sinceImprove int
+	// memo caches exact-closure outcomes per canonical sub-expression:
+	// identical residuals recur massively under Shannon expansion (the
+	// reason the exact compiler memoises), so a sub-problem closed — or
+	// proven too hard for a budget tier — once is never re-attempted.
+	memo map[string]closure
+}
+
+// closure is the memoised outcome of exact-closure attempts on one
+// sub-expression: its truth probability when resolved, or the largest
+// node budget it is known to exceed.
+type closure struct {
+	resolved bool
+	p        float64
+	failedAt int
+}
+
+// cheapBudget is the node budget of the closure probe every classified
+// sub-expression gets; the full tier budget is invested only when a
+// frontier leaf is actually popped for expansion.
+const cheapBudget = 64
+
+// stagnationWindow is the minimum number of frontier expansions without
+// any width improvement after which the closure budget tier doubles; the
+// effective window also covers half a sweep of the current frontier, so a
+// large, steadily-progressing frontier does not trigger escalation just
+// because individual expansions happen not to move the bounds.
+const stagnationWindow = 48
+
+// escalationWaste caps the node budget available for *failed* escalated
+// closure attempts: escFailed plus the next attempt's tier must stay under
+// TotalNodes/escalationWaste (with a small absolute floor). Successful
+// escalated closures grow TotalNodes, funding further escalation — the
+// Q1-style chain of stubborn-but-closable leaves keeps closing — while a
+// frontier that never benefits stops escalating after bounded waste.
+const escalationWaste = 3
+
+func (ax *approximator) newNode(n *anode) *anode {
+	ax.rep.TreeNodes++
+	return n
+}
+
+// classify turns a (simplified) semiring sub-expression into a partial-tree
+// node: constants evaluate, cheap sub-expressions close exactly under the
+// probe budget, independent sums/products split structurally, and
+// everything else becomes a frontier leaf with bounds [0, 1].
+func (ax *approximator) classify(e expr.Expr) (*anode, error) {
+	if !expr.HasVars(e) {
+		v, err := expr.Eval(e, nil, ax.s)
+		if err != nil {
+			return nil, err
+		}
+		p := 0.0
+		if ax.s.Normalise(v).Truth() {
+			p = 1.0
+		}
+		return ax.newNode(&anode{kind: nkPoint, lo: p, hi: p}), nil
+	}
+	// Try to close the leaf exactly under the probe budget. The exact
+	// compiler brings the full arsenal — pruning, interval decision
+	// (prune.go's bounds/decide), factoring, memoisation — so decidable
+	// comparisons and tractable residuals resolve here at tiny cost.
+	key := expr.String(e)
+	probe := cheapBudget
+	if probe > ax.tier {
+		probe = ax.tier
+	}
+	p, closed, err := ax.close(key, e, probe)
+	if err != nil {
+		return nil, err
+	}
+	if closed {
+		return ax.newNode(&anode{kind: nkPoint, lo: p, hi: p}), nil
+	}
+	// Keep frontier comparisons pruned: dropping provably redundant terms
+	// here (rather than only inside closure probes) shrinks every later
+	// substitution, memo key and Shannon expansion of this leaf.
+	if cm, ok := e.(expr.Cmp); ok && !ax.opts.Compile.DisablePruning {
+		pruned, _ := pruneCmp(ax.s, ax.reg, cm)
+		if s := expr.Simplify(pruned, ax.s); expr.String(s) != key {
+			return ax.classify(s)
+		}
+	}
+	// Structural splits on independent parts, mirroring rules 1 and 2 of
+	// the exact compiler.
+	switch t := e.(type) {
+	case expr.Add:
+		if groups := components(t.Terms); len(groups) > 1 && ax.sumSplitsSound(groups) {
+			return ax.split(nkOr, groups, func(g []expr.Expr) expr.Expr { return expr.Sum(g...) })
+		}
+	case expr.Mul:
+		if groups := components(t.Factors); len(groups) > 1 {
+			return ax.split(nkAnd, groups, func(g []expr.Expr) expr.Expr { return expr.Product(g...) })
+		}
+	}
+	leaf := ax.newNode(&anode{kind: nkFrontier, lo: 0, hi: 1, e: e})
+	return leaf, nil
+}
+
+// sumSplitsSound reports whether the disjunction rule applies to an
+// independent sum split: truth(Σ) = ∨ truth(group) requires that no
+// cancellation across groups is possible. The Boolean semiring is always
+// safe (+ is ∨); for the Natural semiring, interval analysis must prove
+// every group non-negative (scalarBounds bails out on any negative constant
+// or variable support, so success implies no negative contribution).
+func (ax *approximator) sumSplitsSound(groups [][]expr.Expr) bool {
+	if ax.s.Kind() == algebra.Boolean {
+		return true
+	}
+	for _, g := range groups {
+		lo, _, ok := scalarBounds(ax.s, ax.reg, expr.Sum(g...))
+		if !ok || lo.Less(value.Int(0)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ax *approximator) split(kind anodeKind, groups [][]expr.Expr, rebuild func([]expr.Expr) expr.Expr) (*anode, error) {
+	n := ax.newNode(&anode{kind: kind})
+	n.children = make([]*anode, 0, len(groups))
+	for _, g := range groups {
+		c, err := ax.classify(expr.Simplify(rebuild(g), ax.s))
+		if err != nil {
+			return nil, err
+		}
+		c.parent = n
+		n.children = append(n.children, c)
+	}
+	n.recompute()
+	return n, nil
+}
+
+// escalationWorthwhile decides whether an escalated closure attempt at the
+// current tier is an economic use of nodes for this leaf. Failed escalated
+// work is capped at a fraction of the total work; beyond that, the tier
+// must be commensurate with the probability mass the closure would
+// resolve, priced at the run's observed nodes-per-width-resolved rate. A
+// stalled run (nothing resolved yet) always funds escalation — that is
+// the stagnation pathology escalation exists to break.
+func (ax *approximator) escalationWorthwhile(leaf *anode) bool {
+	if wasteCap := max(4*ax.opts.leafBudget(), ax.rep.TotalNodes()/escalationWaste); ax.escFailed+ax.tier > wasteCap {
+		return false
+	}
+	resolved := ax.initWidth - (ax.root.hi - ax.root.lo)
+	if resolved <= 0 {
+		return true
+	}
+	rate := float64(ax.rep.TotalNodes()) / resolved
+	return float64(ax.tier) <= 4*leaf.contribution()*rate
+}
+
+// close attempts to resolve e exactly under the given node budget,
+// consulting and updating the memo. It reports the truth probability and
+// whether the closure succeeded; budget-exceeded failures are memoised per
+// tier so no budget is attempted twice for the same expression.
+func (ax *approximator) close(key string, e expr.Expr, budget int) (float64, bool, error) {
+	if m, ok := ax.memo[key]; ok {
+		if m.resolved {
+			return m.p, true, nil
+		}
+		if m.failedAt >= budget {
+			return 0, false, nil
+		}
+	}
+	// MaxNodes bounds TotalNodes, and closure attempts are where nodes are
+	// created: clamp every attempt to the remaining allowance so the cap
+	// cannot be overshot between the run loop's checks.
+	if ax.opts.MaxNodes > 0 {
+		remaining := ax.opts.MaxNodes - ax.rep.TotalNodes()
+		if remaining <= 0 {
+			return 0, false, nil
+		}
+		if budget > remaining {
+			budget = remaining
+		}
+	}
+	o := ax.opts.Compile
+	o.MaxNodes = budget
+	b, nodes, err := exactTruth(ax.s, ax.reg, e, o)
+	if err == nil {
+		ax.rep.ExactNodes += nodes
+		ax.rep.ExactLeaves++
+		ax.memo[key] = closure{resolved: true, p: b.Lo}
+		return b.Lo, true, nil
+	}
+	ax.rep.WastedNodes += nodes
+	if !errors.Is(err, ErrNodeBudget) {
+		return 0, false, err
+	}
+	ax.memo[key] = closure{failedAt: budget}
+	return 0, false, nil
+}
+
+// run drives the priority frontier until the root interval is within ε or a
+// budget runs out.
+func (ax *approximator) run(t0 time.Time) error {
+	ax.collectFrontier(ax.root)
+	heap.Init(&ax.frontier)
+	ax.initWidth = ax.root.hi - ax.root.lo
+	ax.lastWidth = ax.initWidth
+	for ax.root.hi-ax.root.lo > ax.opts.Eps {
+		if ax.opts.MaxExpansions > 0 && ax.rep.Expansions >= ax.opts.MaxExpansions {
+			return nil
+		}
+		if ax.opts.MaxNodes > 0 && ax.rep.TotalNodes() >= ax.opts.MaxNodes {
+			return nil
+		}
+		if ax.opts.Timeout > 0 && time.Since(t0) >= ax.opts.Timeout {
+			return nil
+		}
+		leaf := ax.popBest()
+		if leaf == nil {
+			return nil // fully expanded; bounds are exact
+		}
+		if err := ax.expand(leaf); err != nil {
+			return err
+		}
+		if w := ax.root.hi - ax.root.lo; w < ax.lastWidth {
+			ax.lastWidth = w
+			ax.sinceImprove = 0
+		} else if ax.sinceImprove++; ax.sinceImprove >= stagnationWindow && 2*ax.sinceImprove >= ax.frontier.Len() {
+			// Half a frontier sweep of Shannon expansion did not tighten
+			// the bounds; invest in bigger exact closures instead
+			// (iterative deepening).
+			if !ax.escArmed {
+				ax.escArmed = true
+				ax.tier *= 2
+			}
+			ax.sinceImprove = 0
+		}
+		if ax.opts.OnBounds != nil {
+			ax.opts.OnBounds(ax.root.bounds())
+		}
+	}
+	return nil
+}
+
+// collectFrontier pushes every frontier leaf below n onto the heap.
+func (ax *approximator) collectFrontier(n *anode) {
+	if n.kind == nkFrontier {
+		n.prio = n.contribution()
+		ax.frontier = append(ax.frontier, n)
+		return
+	}
+	for _, c := range n.children {
+		ax.collectFrontier(c)
+	}
+}
+
+// popBest returns the open frontier leaf with the largest current
+// contribution, refreshing stale priorities lazily (contributions only
+// decrease, so an entry that still wins after refresh is the true maximum).
+func (ax *approximator) popBest() *anode {
+	for ax.frontier.Len() > 0 {
+		leaf := heap.Pop(&ax.frontier).(*anode)
+		if leaf.kind != nkFrontier {
+			continue // expanded in place since it was pushed
+		}
+		fresh := leaf.contribution()
+		if ax.frontier.Len() == 0 || fresh >= ax.frontier[0].prio {
+			return leaf
+		}
+		leaf.prio = fresh
+		heap.Push(&ax.frontier, leaf)
+	}
+	return nil
+}
+
+// expand refines a frontier leaf. The leaf was popped as the largest
+// contributor to the root width, so the full per-leaf budget is invested
+// in an exact closure first; if the residual is still too hard, the leaf
+// Shannon-expands into a ⊔x mixture whose branches are the classified
+// residuals e|x←v, and the refreshed interval propagates to the root. The
+// variable choice reuses the exact compiler's heuristic, so ε→0 retraces
+// the exact expansion order.
+func (ax *approximator) expand(leaf *anode) error {
+	budget := ax.opts.leafBudget()
+	if ax.escArmed && ax.tier > budget && ax.escalationWorthwhile(leaf) {
+		budget = ax.tier
+	}
+	before := ax.rep.WastedNodes
+	p, closed, err := ax.close(expr.String(leaf.e), leaf.e, budget)
+	if err != nil {
+		return err
+	}
+	if budget > ax.opts.leafBudget() && !closed {
+		// The attempt failed: charge its cost against the waste cap and
+		// deepen, so the next funded attempt can close strictly harder
+		// leaves.
+		ax.escFailed += ax.rep.WastedNodes - before
+		ax.tier *= 2
+	}
+	if closed {
+		leaf.kind = nkPoint
+		leaf.lo, leaf.hi = p, p
+		leaf.e = nil
+		for n := leaf.parent; n != nil; n = n.parent {
+			n.recompute()
+		}
+		return nil
+	}
+	x := chooseVariable(leaf.e, ax.opts.Compile.Order)
+	d, err := ax.reg.Dist(x)
+	if err != nil {
+		return err
+	}
+	ax.rep.Expansions++
+	children := make([]*anode, 0, d.Size())
+	weights := make([]float64, 0, d.Size())
+	for _, pair := range d.Pairs() {
+		sub := expr.Simplify(expr.Subst(leaf.e, x, pair.V), ax.s)
+		c, err := ax.classify(sub)
+		if err != nil {
+			return err
+		}
+		c.parent = leaf
+		children = append(children, c)
+		weights = append(weights, pair.P)
+	}
+	leaf.kind = nkMix
+	leaf.e = nil
+	leaf.children = children
+	leaf.weights = weights
+	// Propagate the tightened interval to the root, then enqueue the new
+	// frontier leaves with their contributions under the refreshed bounds.
+	for n := leaf; n != nil; n = n.parent {
+		n.recompute()
+	}
+	for _, c := range children {
+		ax.enqueueFrontier(c)
+	}
+	return nil
+}
+
+// enqueueFrontier pushes every frontier leaf at or below n onto the heap.
+// Recursion matters: classify returns or/and split nodes whose frontier
+// leaves sit below the direct children of an expansion.
+func (ax *approximator) enqueueFrontier(n *anode) {
+	if n.kind == nkFrontier {
+		n.prio = n.contribution()
+		heap.Push(&ax.frontier, n)
+		return
+	}
+	for _, c := range n.children {
+		ax.enqueueFrontier(c)
+	}
+}

@@ -109,7 +109,9 @@ func (c *Compiler) Compile(e expr.Expr) (Result, error) {
 	c.st = Stats{}
 	root, err := c.compile(expr.Simplify(e, c.s))
 	if err != nil {
-		return Result{}, err
+		// Stats survive failure so callers (notably the anytime engine's
+		// budgeted closure attempts) can account for the work done.
+		return Result{Stats: c.st}, err
 	}
 	return Result{Root: root, Stats: c.st}, nil
 }
@@ -117,7 +119,7 @@ func (c *Compiler) Compile(e expr.Expr) (Result, error) {
 func (c *Compiler) newNode(n dtree.Node) (dtree.Node, error) {
 	c.st.Nodes++
 	if c.opts.MaxNodes > 0 && c.st.Nodes > c.opts.MaxNodes {
-		return nil, fmt.Errorf("compile: d-tree exceeds %d nodes", c.opts.MaxNodes)
+		return nil, fmt.Errorf("compile: d-tree exceeds %d nodes: %w", c.opts.MaxNodes, ErrNodeBudget)
 	}
 	return n, nil
 }

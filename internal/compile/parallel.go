@@ -200,7 +200,7 @@ func (r *prun) fail(err error) error {
 func (r *prun) newNode(n dtree.Node) (dtree.Node, error) {
 	c := r.nodes.Add(1)
 	if r.opts.MaxNodes > 0 && c > int64(r.opts.MaxNodes) {
-		return nil, r.fail(fmt.Errorf("compile: d-tree exceeds %d nodes", r.opts.MaxNodes))
+		return nil, r.fail(fmt.Errorf("compile: d-tree exceeds %d nodes: %w", r.opts.MaxNodes, ErrNodeBudget))
 	}
 	return n, nil
 }

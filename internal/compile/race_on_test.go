@@ -1,0 +1,9 @@
+//go:build race
+
+package compile_test
+
+// raceEnabled reports whether the race detector is active; the long
+// hard-instance acceptance test skips under it (the same run without the
+// detector already covers the assertion, and the detector adds no value to
+// a single-goroutine test).
+const raceEnabled = true

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+
+	"pvcagg/internal/compile"
+	"pvcagg/internal/expr"
+)
+
+// TruthProbabilityApprox computes guaranteed bounds on the probability that
+// the semiring expression e is non-zero, by anytime partial d-tree
+// expansion (compile.Approximate). The pipeline's compilation options
+// govern the exact closure of frontier leaves and the ε = 0 fallback; the
+// returned interval always contains the exact probability, and
+// ApproxReport.Converged reports whether its width reached opts.Eps within
+// the budgets.
+func (p *Pipeline) TruthProbabilityApprox(e expr.Expr, opts compile.ApproxOptions) (compile.Bounds, compile.ApproxReport, error) {
+	if e.Kind() != expr.KindSemiring {
+		return compile.Bounds{}, compile.ApproxReport{}, fmt.Errorf("core: TruthProbabilityApprox of a module expression %s", expr.String(e))
+	}
+	opts.Compile = p.Options
+	b, rep, err := compile.Approximate(p.Semiring, p.Registry, e, opts)
+	if err != nil {
+		return compile.Bounds{}, rep, fmt.Errorf("core: approximate %s: %w", expr.String(e), err)
+	}
+	return b, rep, nil
+}

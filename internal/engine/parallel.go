@@ -63,7 +63,7 @@ func ProbabilitiesParallel(db *pvc.Database, rel *pvc.Relation, opts compile.Opt
 		return []TupleResult{}, nil
 	}
 	workers, inner := par.split(n)
-	moduleCols := moduleColumns(rel.Schema)
+	moduleCols := rel.Schema.ModuleColumns()
 	out := make([]TupleResult, n)
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -112,8 +112,9 @@ func RunParallel(db *pvc.Database, plan Plan, opts compile.Options, par Parallel
 }
 
 // runWith chains the two query-evaluation steps with the given
-// probability step — the shared body of Run and RunParallel.
-func runWith(db *pvc.Database, plan Plan, probabilities func(*pvc.Relation) ([]TupleResult, error)) (*pvc.Relation, []TupleResult, RunTiming, error) {
+// probability step — the shared body of Run, RunParallel and RunApprox
+// (which differ only in the per-tuple result type).
+func runWith[T any](db *pvc.Database, plan Plan, probabilities func(*pvc.Relation) ([]T, error)) (*pvc.Relation, []T, RunTiming, error) {
 	var timing RunTiming
 	t0 := time.Now()
 	rel, err := plan.Eval(db)

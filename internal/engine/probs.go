@@ -45,7 +45,7 @@ type RunTiming struct {
 func Probabilities(db *pvc.Database, rel *pvc.Relation, opts compile.Options) ([]TupleResult, error) {
 	p := &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts}
 	pr := prober{pl: p, par: 1}
-	moduleCols := moduleColumns(rel.Schema)
+	moduleCols := rel.Schema.ModuleColumns()
 	out := make([]TupleResult, 0, len(rel.Tuples))
 	for _, t := range rel.Tuples {
 		res, err := tupleResult(pr, t, moduleCols)
@@ -55,18 +55,6 @@ func Probabilities(db *pvc.Database, rel *pvc.Relation, opts compile.Options) ([
 		out = append(out, res)
 	}
 	return out, nil
-}
-
-// moduleColumns returns the indices of the TModule columns of a schema,
-// in schema order.
-func moduleColumns(schema pvc.Schema) []int {
-	var cols []int
-	for i, c := range schema {
-		if c.Type == pvc.TModule {
-			cols = append(cols, i)
-		}
-	}
-	return cols
 }
 
 // prober routes one tuple's distribution computations through either the
@@ -96,15 +84,9 @@ func tupleResult(pr prober, t pvc.Tuple, moduleCols []int) (TupleResult, error) 
 	}
 	res := TupleResult{Tuple: t, Confidence: d.TruthProbability(), Report: rep}
 	for _, ci := range moduleCols {
-		cell := t.Cells[ci]
-		var e expr.Expr
-		switch cell.Kind() {
-		case pvc.KindExpr:
-			e = cell.Expr()
-		case pvc.KindValue:
-			e = expr.MConst{V: cell.Value()}
-		default:
-			return TupleResult{}, fmt.Errorf("engine: aggregation column holds string cell %s", cell)
+		e, err := t.Cells[ci].ModuleExpr()
+		if err != nil {
+			return TupleResult{}, err
 		}
 		d, rep2, err := pr.distribution(e)
 		if err != nil {
@@ -132,16 +114,12 @@ func JointResult(db *pvc.Database, rel *pvc.Relation, row int) ([]core.JointOutc
 	}
 	t := rel.Tuples[row]
 	es := []expr.Expr{t.Ann}
-	for i, c := range rel.Schema {
-		if c.Type != pvc.TModule {
-			continue
+	for _, ci := range rel.Schema.ModuleColumns() {
+		e, err := t.Cells[ci].ModuleExpr()
+		if err != nil {
+			return nil, err
 		}
-		cell := t.Cells[i]
-		if cell.Kind() == pvc.KindExpr {
-			es = append(es, cell.Expr())
-		} else {
-			es = append(es, expr.MConst{V: cell.Value()})
-		}
+		es = append(es, e)
 	}
 	p := core.New(db.Kind, db.Registry)
 	return p.Joint(es)

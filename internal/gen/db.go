@@ -66,11 +66,17 @@ type DBInstance struct {
 // R(a,b), S(a,c), T(a,b)) and a random aggregation plan over it,
 // deterministically from p.Seed.
 func NewDB(p DBParams) (DBInstance, error) {
+	return NewDBWithRand(p, SeededRand(p.Seed))
+}
+
+// NewDBWithRand is NewDB drawing randomness from an explicitly seeded
+// source, so differential and fuzz tests are reproducible from a logged
+// seed. p.Seed is ignored.
+func NewDBWithRand(p DBParams, rng *rand.Rand) (DBInstance, error) {
 	if err := p.Validate(); err != nil {
 		return DBInstance{}, err
 	}
 	p = p.withDefaults()
-	rng := rand.New(rand.NewSource(p.Seed))
 	db := pvc.NewDatabase(algebra.Boolean)
 
 	table := func(name string, valueCol string) (*pvc.Relation, error) {

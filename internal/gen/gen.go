@@ -63,12 +63,25 @@ type Instance struct {
 	Params   Params
 }
 
-// New generates one random conditional expression per Eq. (11).
+// SeededRand returns an explicitly seeded random source. All generators in
+// this package (and the tests built on them) draw from such sources only —
+// never from math/rand's global state — so every generated instance is
+// reproducible from a logged seed.
+func SeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// New generates one random conditional expression per Eq. (11),
+// deterministically from p.Seed.
 func New(p Params) (Instance, error) {
+	return NewWithRand(p, SeededRand(p.Seed))
+}
+
+// NewWithRand is New drawing randomness from an explicitly seeded source,
+// so differential and fuzz tests are reproducible from a logged seed.
+// p.Seed is ignored.
+func NewWithRand(p Params, rng *rand.Rand) (Instance, error) {
 	if err := p.Validate(); err != nil {
 		return Instance{}, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
 	reg := vars.NewRegistry()
 	prob := p.VarProb
 	if prob == 0 {

@@ -81,6 +81,20 @@ func (c Cell) Expr() expr.Expr {
 // IsConst reports whether the cell is a constant (numeric or string).
 func (c Cell) IsConst() bool { return c.kind != KindExpr }
 
+// ModuleExpr converts an aggregation-column cell into the semimodule
+// expression whose distribution is the column's marginal: expression cells
+// as-is, numeric cells as monoid constants. String cells error.
+func (c Cell) ModuleExpr() (expr.Expr, error) {
+	switch c.kind {
+	case KindExpr:
+		return c.e, nil
+	case KindValue:
+		return expr.MConst{V: c.v}, nil
+	default:
+		return nil, fmt.Errorf("pvc: aggregation column holds string cell %s", c)
+	}
+}
+
 // Key returns a canonical string usable for grouping constant cells; for
 // expression cells it is the canonical expression rendering.
 func (c Cell) Key() string {
@@ -175,6 +189,18 @@ func (s Schema) Index(name string) int {
 		}
 	}
 	return -1
+}
+
+// ModuleColumns returns the indices of the TModule (aggregation) columns,
+// in schema order.
+func (s Schema) ModuleColumns() []int {
+	var cols []int
+	for i, c := range s {
+		if c.Type == TModule {
+			cols = append(cols, i)
+		}
+	}
+	return cols
 }
 
 // Names returns the column names in order.

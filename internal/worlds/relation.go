@@ -26,12 +26,7 @@ type TupleTruth struct {
 // per-tuple variable count; use on small instances only.
 func RelationTruth(db *pvc.Database, rel *pvc.Relation) ([]TupleTruth, error) {
 	s := db.Semiring()
-	var moduleCols []int
-	for i, c := range rel.Schema {
-		if c.Type == pvc.TModule {
-			moduleCols = append(moduleCols, i)
-		}
-	}
+	moduleCols := rel.Schema.ModuleColumns()
 	out := make([]TupleTruth, 0, len(rel.Tuples))
 	for _, t := range rel.Tuples {
 		d, err := Enumerate(t.Ann, db.Registry, s)
@@ -40,15 +35,9 @@ func RelationTruth(db *pvc.Database, rel *pvc.Relation) ([]TupleTruth, error) {
 		}
 		tt := TupleTruth{Confidence: d.TruthProbability()}
 		for _, ci := range moduleCols {
-			cell := t.Cells[ci]
-			var e expr.Expr
-			switch cell.Kind() {
-			case pvc.KindExpr:
-				e = cell.Expr()
-			case pvc.KindValue:
-				e = expr.MConst{V: cell.Value()}
-			default:
-				return nil, fmt.Errorf("worlds: aggregation column holds string cell %s", cell)
+			e, err := t.Cells[ci].ModuleExpr()
+			if err != nil {
+				return nil, fmt.Errorf("worlds: tuple %s: %w", t.Key(), err)
 			}
 			ad, err := Enumerate(e, db.Registry, s)
 			if err != nil {

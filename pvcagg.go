@@ -48,6 +48,33 @@
 //
 //	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
 //	d, rep, err := p.DistributionParallel(e, 8) // at most 8 goroutines
+//
+// # Approximate computation
+//
+// Queries outside the tractable classes Qind/Qhie pay full Shannon
+// expansion, which is exponential in the worst case. The anytime
+// approximation engine makes such queries answerable with guarantees:
+// instead of compiling a complete d-tree, it expands the decomposition
+// incrementally, every uncompiled sub-expression contributing interval
+// bounds [lo, hi] on its truth probability to its parent. A
+// priority-driven frontier always expands the leaf contributing most to
+// the root's bound width, and expansion stops as soon as the interval is
+// within a user-given ε (or a node/time budget runs out). The returned
+// interval always contains the exact probability, converged or not; ε = 0
+// reproduces the exact value bit-for-bit through the exact pipeline.
+//
+//	b, rep, err := pvcagg.Approximate(e, reg, pvcagg.Boolean,
+//		pvcagg.ApproxOptions{Eps: 0.01})
+//	// b.Lo ≤ P[e ≠ 0] ≤ b.Hi and b.Hi − b.Lo ≤ 0.01 when rep.Converged
+//
+// Whole queries run end-to-end with per-tuple ε, the tuples fanned out
+// over the same worker pool as RunParallel; aggregation-column
+// distributions stay exact (the hardness of selections on aggregates
+// lives in the annotations, which is what the anytime engine brackets):
+//
+//	rel, results, timing, err := pvcagg.RunApprox(db, plan,
+//		pvcagg.ApproxOptions{Eps: 0.05}, pvcagg.ParallelOptions{})
+//	// results[i].Confidence is a Bounds of width ≤ 0.05
 package pvcagg
 
 import (
@@ -269,6 +296,43 @@ func ProbabilitiesParallel(db *Database, rel *Relation, opts CompileOptions, par
 	return engine.ProbabilitiesParallel(db, rel, opts, par)
 }
 
+// Anytime approximation (see the "Approximate computation" package-doc
+// section).
+type (
+	// Bounds is an interval [Lo, Hi] guaranteed to contain the exact
+	// probability.
+	Bounds = compile.Bounds
+	// ApproxOptions configure anytime approximation: the target width
+	// Eps plus node/expansion/time budgets.
+	ApproxOptions = compile.ApproxOptions
+	// ApproxReport describes one anytime computation (bounds,
+	// convergence, expansion and node counts).
+	ApproxReport = compile.ApproxReport
+	// ApproxTupleResult brackets one result tuple's confidence.
+	ApproxTupleResult = engine.ApproxTupleResult
+)
+
+// Approximate computes guaranteed bounds on the probability that the
+// semiring expression e is non-zero, by anytime partial d-tree expansion.
+// The returned interval always contains the exact probability; its width
+// is at most opts.Eps when the report's Converged flag is set.
+func Approximate(e Expr, reg *Registry, kind SemiringKind, opts ApproxOptions) (Bounds, ApproxReport, error) {
+	return compile.Approximate(algebra.SemiringFor(kind), reg, e, opts)
+}
+
+// RunApprox evaluates a plan and brackets every result tuple's confidence
+// within opts.Eps (budgets permitting), distributing tuples over a bounded
+// worker pool. Aggregation-column distributions are computed exactly.
+func RunApprox(db *Database, plan Plan, opts ApproxOptions, par ParallelOptions) (*Relation, []ApproxTupleResult, RunTiming, error) {
+	return engine.RunApprox(db, plan, opts, par)
+}
+
+// ProbabilitiesApprox brackets the confidence of every tuple of an
+// already-evaluated pvc-table within opts.Eps.
+func ProbabilitiesApprox(db *Database, rel *Relation, opts ApproxOptions, par ParallelOptions) ([]ApproxTupleResult, error) {
+	return engine.ProbabilitiesApprox(db, rel, opts, par)
+}
+
 // Tractability analysis (Section 6).
 type (
 	// Verdict is a tractability classification with its reason.
@@ -304,9 +368,11 @@ func Enumerate(e Expr, reg *Registry, kind SemiringKind) (Dist, error) {
 	return worlds.Enumerate(e, reg, algebra.SemiringFor(kind))
 }
 
-// MonteCarlo estimates a distribution from n sampled worlds.
-func MonteCarlo(e Expr, reg *Registry, kind SemiringKind, n int, rng *rand.Rand) (Dist, error) {
-	return worlds.MonteCarlo(e, reg, algebra.SemiringFor(kind), n, rng)
+// MonteCarlo estimates a distribution from n sampled worlds. Sampling is
+// driven by an explicitly seeded rand.Rand, so any estimate is
+// reproducible from the logged seed.
+func MonteCarlo(e Expr, reg *Registry, kind SemiringKind, n int, seed int64) (Dist, error) {
+	return worlds.MonteCarlo(e, reg, algebra.SemiringFor(kind), n, rand.New(rand.NewSource(seed)))
 }
 
 // Random expression generation (the paper's Section 7.1 workload).

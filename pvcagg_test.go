@@ -2,7 +2,6 @@ package pvcagg_test
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"pvcagg"
@@ -82,7 +81,7 @@ func TestFacadeBaselinesAgree(t *testing.T) {
 	if !compiled.Equal(exact, 1e-12) {
 		t.Errorf("pipeline %v vs enumeration %v", compiled, exact)
 	}
-	mc, err := pvcagg.MonteCarlo(e, reg, pvcagg.Boolean, 20000, rand.New(rand.NewSource(1)))
+	mc, err := pvcagg.MonteCarlo(e, reg, pvcagg.Boolean, 20000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,6 +147,62 @@ func TestFacadeParallel(t *testing.T) {
 			if !parRes[i].AggDists[j].Equal(seqRes[i].AggDists[j], 1e-12) {
 				t.Errorf("tuple %d agg %d: %v != %v", i, j, parRes[i].AggDists[j], seqRes[i].AggDists[j])
 			}
+		}
+	}
+}
+
+// The "Approximate computation" example from the package documentation:
+// anytime bounds bracket the exact probability, end to end.
+func TestFacadeApproximate(t *testing.T) {
+	reg := pvcagg.NewRegistry()
+	reg.DeclareBool("x", 0.5)
+	reg.DeclareBool("y", 0.5)
+	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
+	b, rep, err := pvcagg.Approximate(e, reg, pvcagg.Boolean, pvcagg.ApproxOptions{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(0.5, 1e-12) {
+		t.Errorf("bounds %v do not contain the exact probability 0.5", b)
+	}
+	if !rep.Converged || b.Width() > 0.01 {
+		t.Errorf("not converged to width ≤ 0.01: %v (converged=%v)", b, rep.Converged)
+	}
+
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	r := pvcagg.NewRelation("R", pvcagg.Schema{
+		{Name: "k", Type: pvcagg.TValue},
+		{Name: "v", Type: pvcagg.TValue},
+	})
+	for i := int64(0); i < 4; i++ {
+		if _, err := db.InsertIndependent(r, 0.5, pvcagg.IntCell(i%2), pvcagg.IntCell(10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(r)
+	plan := &pvcagg.GroupAgg{
+		Input:   &pvcagg.Scan{Table: "R"},
+		GroupBy: []string{"k"},
+		Aggs:    []pvcagg.AggSpec{{Out: "total", Agg: pvcagg.SUM, Over: "v"}},
+	}
+	_, exact, _, err := pvcagg.Run(db, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, approx, _, err := pvcagg.RunApprox(db, plan, pvcagg.ApproxOptions{Eps: 0.05}, pvcagg.ParallelOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx) != len(exact) {
+		t.Fatalf("%d approx results, want %d", len(approx), len(exact))
+	}
+	for i := range exact {
+		if !approx[i].Confidence.Contains(exact[i].Confidence, 1e-12) {
+			t.Errorf("tuple %d: exact confidence %v outside bounds %v",
+				i, exact[i].Confidence, approx[i].Confidence)
+		}
+		if approx[i].Confidence.Width() > 0.05 {
+			t.Errorf("tuple %d: width %v > eps", i, approx[i].Confidence.Width())
 		}
 	}
 }
