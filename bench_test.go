@@ -16,6 +16,8 @@
 package pvcagg_test
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"testing"
 
@@ -482,4 +484,106 @@ func thName(th value.Theta) string {
 	default:
 		return th.String()
 	}
+}
+
+// The Exec benchmark family measures the unified entrypoint in each
+// strategy on the same TPC-H Q1 workload, so exact-vs-anytime-vs-parallel
+// trajectories accumulate across PRs. Run ad hoc with -bench=Exec, or
+// emit machine-readable JSON with
+//
+//	go test -run TestEmitBenchJSON -benchjson BENCH_exec.json
+//
+// (TestEmitBenchJSON drives the same closures through testing.Benchmark
+// and writes them via benchx.WriteBenchJSON.)
+
+var benchJSONPath = flag.String("benchjson", "", "write the Exec benchmark results as JSON to this file")
+
+// execBenchCase is one named Exec workload.
+type execBenchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// execBenchCases builds the named Exec workloads shared by BenchmarkExec
+// and TestEmitBenchJSON, in a fixed emission order.
+func execBenchCases(sf float64) ([]execBenchCase, error) {
+	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
+	if err != nil {
+		return nil, err
+	}
+	plan := tpch.Q1(1200)
+	run := func(opts ...pvcagg.Option) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pvcagg.Exec(context.Background(), db, plan, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	stream := func(opts ...pvcagg.Option) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pvcagg.Exec(context.Background(), db, plan, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, err := range res.Results() {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	return []execBenchCase{
+		{"exact/seq", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))},
+		{"exact/par", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(0))},
+		{"exact/stream", stream(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(0))},
+		{"anytime/0.05", run(pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithEps(0.05))},
+		{"auto", run(pvcagg.WithEps(0.05))},
+		{"sample/10k", run(pvcagg.WithMode(pvcagg.Sample), pvcagg.WithSeed(1))},
+	}, nil
+}
+
+// BenchmarkExec: the unified entrypoint across strategies on TPC-H Q1.
+func BenchmarkExec(b *testing.B) {
+	cases, err := execBenchCases(0.0005)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		b.Run(c.name, c.fn)
+	}
+}
+
+// TestEmitBenchJSON runs the Exec benchmark family through
+// testing.Benchmark and writes the measurements to the file named by
+// -benchjson (skipped when the flag is unset), so CI and scripts can
+// accumulate BENCH_exec.json without parsing -bench output.
+func TestEmitBenchJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("-benchjson not set")
+	}
+	cases, err := execBenchCases(0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]benchx.BenchRecord, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		records = append(records, benchx.BenchRecord{
+			Name:    "Exec/" + c.name,
+			N:       r.N,
+			NsPerOp: float64(r.NsPerOp()),
+		})
+	}
+	if err := benchx.WriteBenchJSON(*benchJSONPath, records); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d records to %s", len(records), *benchJSONPath)
 }

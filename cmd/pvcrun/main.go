@@ -1,20 +1,27 @@
 // Command pvcrun evaluates the paper's running-example queries (Figure 1)
 // or the TPC-H experiment queries on generated data, printing the result
-// pvc-table with annotations, the tractability classification, and the
-// probability of every answer tuple.
+// pvc-table with annotations, the tractability classification, the chosen
+// execution strategy, and the probability of every answer tuple.
 //
 // Usage:
 //
-//	pvcrun -demo shop  -p 0.5              # Figure 1 database, queries Q1/Q2
-//	pvcrun -demo tpch  -sf 0.001           # TPC-H Q1 and Q2
-//	pvcrun -demo tpch  -sf 0.001 -parallel 0  # parallel probability step (GOMAXPROCS)
-//	pvcrun -demo shop  -eps 0.01           # anytime bounds of width ≤ 0.01
+//	pvcrun -demo shop  -p 0.5               # Figure 1 database, queries Q1/Q2
+//	pvcrun -demo tpch  -sf 0.001            # TPC-H Q1 and Q2
+//	pvcrun -demo tpch  -sf 0.001 -parallel 0   # parallel probability step (GOMAXPROCS)
+//	pvcrun -demo shop  -mode anytime -eps 0.01 # anytime bounds of width ≤ 0.01
+//	pvcrun -demo shop  -mode auto              # Classify routes each query
+//	pvcrun -demo tpch  -timeout 5s             # cancel runaway compilations
+//
+// Ctrl-C cancels the in-flight compilations cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"pvcagg"
 	"pvcagg/internal/tpch"
@@ -26,73 +33,49 @@ func main() {
 		p        = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
 		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
 		parallel = flag.Int("parallel", 1, "probability-step parallelism (0 = GOMAXPROCS, 1 = sequential)")
-		eps      = flag.Float64("eps", 0, "anytime confidence-bound width; > 0 selects the approximate engine")
+		mode     = flag.String("mode", "auto", "execution strategy: auto, exact or anytime")
+		eps      = flag.Float64("eps", 0, "anytime confidence-bound width (anytime/auto modes)")
+		timeout  = flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts, err := execOptions(*mode, *eps, *parallel, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pvcrun:", err)
+		os.Exit(2)
+	}
 	switch *demo {
 	case "shop":
-		runShop(*p, *parallel, *eps)
+		runShop(ctx, *p, opts)
 	case "tpch":
-		runTPCH(*sf, *parallel, *eps)
+		runTPCH(ctx, *sf, opts)
 	default:
 		fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
 		os.Exit(2)
 	}
 }
 
-// answer is one printed result row: exact confidence (Lo == Hi) or
-// anytime bounds, plus the expectation of the first aggregation column
-// when present.
-type answer struct {
-	tuple  pvcagg.Tuple
-	conf   pvcagg.Bounds
-	agg    float64
-	hasAgg bool
-}
-
-// newAnswer flattens one result tuple into a printed row.
-func newAnswer(t pvcagg.Tuple, conf pvcagg.Bounds, aggDists []pvcagg.Dist) answer {
-	a := answer{tuple: t, conf: conf}
-	if len(aggDists) > 0 {
-		a.agg, a.hasAgg = aggDists[0].Expectation(), true
+// execOptions translates the flags into Exec options.
+func execOptions(mode string, eps float64, parallel int, timeout time.Duration) ([]pvcagg.Option, error) {
+	opts := []pvcagg.Option{pvcagg.WithParallelism(parallel)}
+	switch mode {
+	case "auto":
+		opts = append(opts, pvcagg.WithMode(pvcagg.Auto))
+	case "exact":
+		opts = append(opts, pvcagg.WithMode(pvcagg.Exact))
+	case "anytime":
+		opts = append(opts, pvcagg.WithMode(pvcagg.Anytime))
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want auto, exact or anytime)", mode)
 	}
-	return a
-}
-
-// runPlan dispatches to the exact (sequential or parallel) or anytime
-// entry point, flattening the per-tuple results for printing.
-func runPlan(db *pvcagg.Database, plan pvcagg.Plan, parallel int, eps float64) (*pvcagg.Relation, []answer, pvcagg.RunTiming, error) {
-	par := pvcagg.ParallelOptions{Parallelism: parallel}
 	if eps > 0 {
-		rel, results, timing, err := pvcagg.RunApprox(db, plan, pvcagg.ApproxOptions{Eps: eps}, par)
-		if err != nil {
-			return nil, nil, timing, err
-		}
-		out := make([]answer, len(results))
-		for i, r := range results {
-			out[i] = newAnswer(r.Tuple, r.Confidence, r.AggDists)
-		}
-		return rel, out, timing, nil
+		opts = append(opts, pvcagg.WithEps(eps))
 	}
-	var (
-		rel     *pvcagg.Relation
-		results []pvcagg.TupleResult
-		timing  pvcagg.RunTiming
-		err     error
-	)
-	if parallel == 1 {
-		rel, results, timing, err = pvcagg.Run(db, plan)
-	} else {
-		rel, results, timing, err = pvcagg.RunParallel(db, plan, par)
+	if timeout > 0 {
+		opts = append(opts, pvcagg.WithTimeout(timeout))
 	}
-	if err != nil {
-		return nil, nil, timing, err
-	}
-	out := make([]answer, len(results))
-	for i, r := range results {
-		out[i] = newAnswer(r.Tuple, pvcagg.Bounds{Lo: r.Confidence, Hi: r.Confidence}, r.AggDists)
-	}
-	return rel, out, timing, nil
+	return opts, nil
 }
 
 // confString renders an exact confidence as a number and anytime bounds as
@@ -104,7 +87,29 @@ func confString(b pvcagg.Bounds) string {
 	return b.String()
 }
 
-func runShop(p float64, parallel int, eps float64) {
+// printResult runs step II of an Exec result and prints every answer
+// tuple with its confidence and, when present, the expectation of the
+// first aggregation column.
+func printResult(res *pvcagg.Result, verbose bool) error {
+	outs, err := res.Collect()
+	if err != nil {
+		return err
+	}
+	for i, o := range outs {
+		if !verbose && i >= 8 {
+			fmt.Printf("   … %d more\n", len(outs)-i)
+			break
+		}
+		fmt.Printf("   P[%v] = %s", cellsOf(o.Tuple), confString(o.Confidence))
+		if len(o.AggDists) > 0 {
+			fmt.Printf("  E[agg] = %.6g", o.AggDists[0].Expectation())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runShop(ctx context.Context, p float64, opts []pvcagg.Option) {
 	db := shopDB(p)
 	q1 := &pvcagg.Project{
 		Cols: []string{"shop", "price"},
@@ -130,19 +135,20 @@ func runShop(p float64, parallel int, eps float64) {
 	}{{"Q1", q1}, {"Q2", q2}} {
 		fmt.Printf("== %s = %s\n", q.name, q.plan)
 		fmt.Printf("   class: %v\n", pvcagg.Classify(q.plan, db))
-		rel, results, timing, err := runPlan(db, q.plan, parallel, eps)
+		res, err := pvcagg.Exec(ctx, db, q.plan, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(rel)
-		for _, r := range results {
-			fmt.Printf("   P[%v] = %s\n", cellsOf(r.tuple), confString(r.conf))
+		fmt.Printf("   strategy: %v\n", res.Strategy)
+		fmt.Println(res.Rel)
+		if err := printResult(res, true); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("   ⟦·⟧ %v, P(·) %v\n\n", timing.Construct, timing.Probability)
+		fmt.Printf("   ⟦·⟧ %v, P(·) %v\n\n", res.Timing.Construct, res.Timing.Probability)
 	}
 }
 
-func runTPCH(sf float64, parallel int, eps float64) {
+func runTPCH(ctx context.Context, sf float64, opts []pvcagg.Option) {
 	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
 	if err != nil {
 		fatal(err)
@@ -155,23 +161,16 @@ func runTPCH(sf float64, parallel int, eps float64) {
 		{"TPC-H Q2", tpch.Q2(1, "AFRICA")},
 	} {
 		fmt.Printf("== %s\n", q.name)
-		rel, results, timing, err := runPlan(db, q.plan, parallel, eps)
+		res, err := pvcagg.Exec(ctx, db, q.plan, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("   %d answer tuples; ⟦·⟧ %v, P(·) %v\n", rel.Len(), timing.Construct, timing.Probability)
-		for i, r := range results {
-			if i >= 8 {
-				fmt.Printf("   … %d more\n", len(results)-i)
-				break
-			}
-			fmt.Printf("   P[%v] = %s", cellsOf(r.tuple), confString(r.conf))
-			if r.hasAgg {
-				fmt.Printf("  E[agg] = %.6g", r.agg)
-			}
-			fmt.Println()
+		fmt.Printf("   strategy: %v\n", res.Strategy)
+		if err := printResult(res, false); err != nil {
+			fatal(err)
 		}
-		fmt.Println()
+		fmt.Printf("   %d answer tuples; ⟦·⟧ %v, P(·) %v\n\n",
+			res.Len(), res.Timing.Construct, res.Timing.Probability)
 	}
 }
 

@@ -1,0 +1,152 @@
+package pvcagg
+
+import (
+	"context"
+
+	"pvcagg/internal/engine"
+)
+
+// This file keeps the pre-Exec entry points alive as thin wrappers: every
+// legacy function delegates to Exec/ExecTable/ExecExpr with the
+// equivalent options and converts the unified TupleOutcomes back to its
+// legacy result type, so legacy callers observe bit-for-bit identical
+// tuples, probabilities and reports (asserted by deprecated_test.go).
+// New code should call Exec directly; see the README migration table.
+
+// legacyExact routes the four exact legacy run functions through Exec.
+// The extra options carry the per-wrapper error contract: the sequential
+// wrappers keep their historical stop-at-first-failure semantics via the
+// unexported fail-fast option, the parallel ones their joined
+// every-failure-reported errors.
+func legacyExact(db *Database, plan Plan, opts CompileOptions, parallelism int, extra ...Option) (*Relation, []TupleResult, RunTiming, error) {
+	res, err := Exec(context.Background(), db, plan,
+		append([]Option{WithMode(Exact), WithCompileOptions(opts), WithParallelism(parallelism)}, extra...)...)
+	if err != nil {
+		return nil, nil, RunTiming{}, err
+	}
+	outs, err := res.Collect()
+	if err != nil {
+		return nil, nil, res.Timing, err
+	}
+	trs := make([]TupleResult, len(outs))
+	for i, o := range outs {
+		trs[i] = o.AsTupleResult()
+	}
+	return res.Rel, trs, res.Timing, nil
+}
+
+// Run evaluates a plan on a database and computes the probability of every
+// result tuple.
+//
+// Deprecated: use Exec with WithMode(Exact) (or Auto) and Collect.
+func Run(db *Database, plan Plan) (*Relation, []TupleResult, RunTiming, error) {
+	return legacyExact(db, plan, CompileOptions{}, 1, failFastOpt())
+}
+
+// RunWithOptions is Run with explicit compilation options.
+//
+// Deprecated: use Exec with WithCompileOptions.
+func RunWithOptions(db *Database, plan Plan, opts CompileOptions) (*Relation, []TupleResult, RunTiming, error) {
+	return legacyExact(db, plan, opts, 1, failFastOpt())
+}
+
+// ParallelOptions configure batched parallel probability computation.
+//
+// Deprecated: use WithParallelism.
+type ParallelOptions = engine.ParallelOptions
+
+// RunParallel is Run with the probability step distributed over a
+// bounded worker pool. Results are identical to Run's; failing tuples
+// are all reported, joined into one error.
+//
+// Deprecated: use Exec with WithParallelism.
+func RunParallel(db *Database, plan Plan, par ParallelOptions) (*Relation, []TupleResult, RunTiming, error) {
+	return legacyExact(db, plan, CompileOptions{}, par.Parallelism)
+}
+
+// RunParallelWithOptions is RunParallel with explicit compilation
+// options.
+//
+// Deprecated: use Exec with WithCompileOptions and WithParallelism.
+func RunParallelWithOptions(db *Database, plan Plan, opts CompileOptions, par ParallelOptions) (*Relation, []TupleResult, RunTiming, error) {
+	return legacyExact(db, plan, opts, par.Parallelism)
+}
+
+// ProbabilitiesParallel computes the probability of every tuple of an
+// already-evaluated pvc-table with the given parallelism.
+//
+// Deprecated: use ExecTable with WithMode(Exact) and Collect.
+func ProbabilitiesParallel(db *Database, rel *Relation, opts CompileOptions, par ParallelOptions) ([]TupleResult, error) {
+	res, err := ExecTable(context.Background(), db, rel,
+		WithMode(Exact), WithCompileOptions(opts), WithParallelism(par.Parallelism))
+	if err != nil {
+		return nil, err
+	}
+	outs, err := res.Collect()
+	if err != nil {
+		return nil, err
+	}
+	trs := make([]TupleResult, len(outs))
+	for i, o := range outs {
+		trs[i] = o.AsTupleResult()
+	}
+	return trs, nil
+}
+
+// RunApprox evaluates a plan and brackets every result tuple's confidence
+// within opts.Eps (budgets permitting), distributing tuples over a bounded
+// worker pool. Aggregation-column distributions are computed exactly.
+//
+// Deprecated: use Exec with WithMode(Anytime) and WithEps (or Auto, which
+// selects the anytime engine exactly when the plan is hard).
+func RunApprox(db *Database, plan Plan, opts ApproxOptions, par ParallelOptions) (*Relation, []ApproxTupleResult, RunTiming, error) {
+	res, err := Exec(context.Background(), db, plan,
+		WithMode(Anytime), WithApprox(opts), WithParallelism(par.Parallelism))
+	if err != nil {
+		return nil, nil, RunTiming{}, err
+	}
+	outs, err := res.Collect()
+	if err != nil {
+		return nil, nil, res.Timing, err
+	}
+	ars := make([]ApproxTupleResult, len(outs))
+	for i, o := range outs {
+		ars[i] = o.AsApproxTupleResult()
+	}
+	return res.Rel, ars, res.Timing, nil
+}
+
+// ProbabilitiesApprox brackets the confidence of every tuple of an
+// already-evaluated pvc-table within opts.Eps.
+//
+// Deprecated: use ExecTable with WithMode(Anytime) and Collect.
+func ProbabilitiesApprox(db *Database, rel *Relation, opts ApproxOptions, par ParallelOptions) ([]ApproxTupleResult, error) {
+	res, err := ExecTable(context.Background(), db, rel,
+		WithMode(Anytime), WithApprox(opts), WithParallelism(par.Parallelism))
+	if err != nil {
+		return nil, err
+	}
+	outs, err := res.Collect()
+	if err != nil {
+		return nil, err
+	}
+	ars := make([]ApproxTupleResult, len(outs))
+	for i, o := range outs {
+		ars[i] = o.AsApproxTupleResult()
+	}
+	return ars, nil
+}
+
+// Approximate computes guaranteed bounds on the probability that the
+// semiring expression e is non-zero, by anytime partial d-tree expansion.
+// The returned interval always contains the exact probability; its width
+// is at most opts.Eps when the report's Converged flag is set.
+//
+// Deprecated: use ExecExpr with WithMode(Anytime).
+func Approximate(e Expr, reg *Registry, kind SemiringKind, opts ApproxOptions) (Bounds, ApproxReport, error) {
+	res, err := ExecExpr(context.Background(), e, reg, kind, WithMode(Anytime), WithApprox(opts))
+	if err != nil {
+		return Bounds{}, ApproxReport{}, err
+	}
+	return res.Confidence, *res.Approx, nil
+}

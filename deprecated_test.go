@@ -1,0 +1,207 @@
+package pvcagg_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pvcagg"
+)
+
+// These tests pin the deprecation contract: every legacy entrypoint is a
+// thin wrapper that delegates to Exec/ExecTable/ExecExpr, so its output
+// must be bit-for-bit identical to calling the unified API with the
+// equivalent options — same tuples, same confidences (float equality, no
+// tolerance), same aggregation distributions, same deterministic report
+// counters.
+
+// assertSameExact compares a legacy exact result slice against unified
+// outcomes, bit for bit.
+func assertSameExact(t *testing.T, label string, legacy []pvcagg.TupleResult, outs []pvcagg.TupleOutcome) {
+	t.Helper()
+	if len(legacy) != len(outs) {
+		t.Fatalf("%s: %d legacy results, %d Exec outcomes", label, len(legacy), len(outs))
+	}
+	for i := range outs {
+		l, o := legacy[i], outs[i]
+		if l.Tuple.Key() != o.Tuple.Key() {
+			t.Errorf("%s tuple %d: key %q != %q", label, i, l.Tuple.Key(), o.Tuple.Key())
+		}
+		if l.Confidence != o.Confidence.Lo || o.Confidence.Width() != 0 {
+			t.Errorf("%s tuple %d: confidence %v != %v", label, i, l.Confidence, o.Confidence)
+		}
+		if len(l.AggDists) != len(o.AggDists) {
+			t.Fatalf("%s tuple %d: %d agg dists != %d", label, i, len(l.AggDists), len(o.AggDists))
+		}
+		for j := range l.AggDists {
+			if !l.AggDists[j].Equal(o.AggDists[j], 0) {
+				t.Errorf("%s tuple %d agg %d: %v != %v", label, i, j, l.AggDists[j], o.AggDists[j])
+			}
+		}
+		if l.Report.Compile.Nodes != o.Report.Exact.Compile.Nodes ||
+			l.Report.Eval.NodeEvals != o.Report.Exact.Eval.NodeEvals ||
+			l.Report.Eval.MaxDistSize != o.Report.Exact.Eval.MaxDistSize {
+			t.Errorf("%s tuple %d: report counters differ: %+v vs %+v", label, i, l.Report, o.Report.Exact)
+		}
+	}
+}
+
+// assertSameApprox compares a legacy anytime result slice against unified
+// outcomes, bit for bit including the anytime report counters.
+func assertSameApprox(t *testing.T, label string, legacy []pvcagg.ApproxTupleResult, outs []pvcagg.TupleOutcome) {
+	t.Helper()
+	if len(legacy) != len(outs) {
+		t.Fatalf("%s: %d legacy results, %d Exec outcomes", label, len(legacy), len(outs))
+	}
+	for i := range outs {
+		l, o := legacy[i], outs[i]
+		if l.Tuple.Key() != o.Tuple.Key() {
+			t.Errorf("%s tuple %d: key %q != %q", label, i, l.Tuple.Key(), o.Tuple.Key())
+		}
+		if l.Confidence != o.Confidence {
+			t.Errorf("%s tuple %d: bounds %v != %v", label, i, l.Confidence, o.Confidence)
+		}
+		for j := range l.AggDists {
+			if !l.AggDists[j].Equal(o.AggDists[j], 0) {
+				t.Errorf("%s tuple %d agg %d: %v != %v", label, i, j, l.AggDists[j], o.AggDists[j])
+			}
+		}
+		if o.Report.Approx == nil {
+			t.Fatalf("%s tuple %d: Exec outcome has no anytime report", label, i)
+		}
+		if l.Report.Expansions != o.Report.Approx.Expansions ||
+			l.Report.TreeNodes != o.Report.Approx.TreeNodes ||
+			l.Report.ExactNodes != o.Report.Approx.ExactNodes ||
+			l.Report.Converged != o.Report.Approx.Converged {
+			t.Errorf("%s tuple %d: anytime report differs: %+v vs %+v", label, i, l.Report, *o.Report.Approx)
+		}
+	}
+}
+
+// TestDeprecatedExactDelegation: Run, RunWithOptions, RunParallel and
+// RunParallelWithOptions all reproduce Exec's exact output.
+func TestDeprecatedExactDelegation(t *testing.T) {
+	db, plan := execTestDB(t)
+	opts := pvcagg.CompileOptions{MaxNodes: 1 << 20}
+
+	_, seq := collect(t, db, plan, pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))
+	_, seqOpts := collect(t, db, plan, pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1), pvcagg.WithCompileOptions(opts))
+	_, par := collect(t, db, plan, pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(4))
+
+	if _, legacy, _, err := pvcagg.Run(db, plan); err != nil {
+		t.Fatal(err)
+	} else {
+		assertSameExact(t, "Run", legacy, seq)
+	}
+	if _, legacy, _, err := pvcagg.RunWithOptions(db, plan, opts); err != nil {
+		t.Fatal(err)
+	} else {
+		assertSameExact(t, "RunWithOptions", legacy, seqOpts)
+	}
+	if _, legacy, _, err := pvcagg.RunParallel(db, plan, pvcagg.ParallelOptions{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	} else {
+		assertSameExact(t, "RunParallel", legacy, par)
+	}
+	if _, legacy, _, err := pvcagg.RunParallelWithOptions(db, plan, opts, pvcagg.ParallelOptions{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	} else {
+		assertSameExact(t, "RunParallelWithOptions", legacy, par)
+	}
+
+	// Table-level delegation.
+	res, err := pvcagg.Exec(context.Background(), db, plan, pvcagg.WithMode(pvcagg.Exact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := pvcagg.ProbabilitiesParallel(db, res.Rel, pvcagg.CompileOptions{}, pvcagg.ParallelOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameExact(t, "ProbabilitiesParallel", legacy, seq)
+}
+
+// TestDeprecatedApproxDelegation: RunApprox and ProbabilitiesApprox
+// reproduce Exec's anytime output, including ε = 0's exact fallback.
+func TestDeprecatedApproxDelegation(t *testing.T) {
+	db, plan := hardTestDB(t)
+	for _, eps := range []float64{0, 0.05} {
+		aopts := pvcagg.ApproxOptions{Eps: eps, MaxLeafNodes: 8}
+		_, want := collect(t, db, plan, pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithApprox(aopts), pvcagg.WithParallelism(2))
+
+		_, legacy, _, err := pvcagg.RunApprox(db, plan, aopts, pvcagg.ParallelOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameApprox(t, "RunApprox", legacy, want)
+
+		res, err := pvcagg.Exec(context.Background(), db, plan, pvcagg.WithMode(pvcagg.Exact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := pvcagg.ProbabilitiesApprox(db, res.Rel, aopts, pvcagg.ParallelOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameApprox(t, "ProbabilitiesApprox", lp, want)
+	}
+}
+
+// TestDeprecatedRunFailFast: the sequential legacy wrappers keep their
+// historical error contract — the first failing tuple's error alone, not
+// the pooled runner's joined "N of M tuples failed" aggregate.
+func TestDeprecatedRunFailFast(t *testing.T) {
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	r := pvcagg.NewRelation("bad", pvcagg.Schema{{Name: "a", Type: pvcagg.TValue}})
+	db.Registry.DeclareBool("x", 0.5)
+	r.MustInsert(pvcagg.MustParseExpr("x"), pvcagg.IntCell(1))
+	// An undeclared variable makes this tuple fail at probability time.
+	r.Tuples = append(r.Tuples,
+		pvcagg.Tuple{Cells: []pvcagg.Cell{pvcagg.IntCell(2)}, Ann: pvcagg.MustParseExpr("ghost1")})
+	db.Add(r)
+	plan := &pvcagg.Scan{Table: "bad"}
+
+	_, _, _, err := pvcagg.Run(db, plan)
+	if err == nil {
+		t.Fatal("Run: want error")
+	}
+	if strings.Contains(err.Error(), "tuples failed") {
+		t.Errorf("Run error %q is the joined aggregate; want the first failure alone", err)
+	}
+	if !strings.Contains(err.Error(), "ghost1") {
+		t.Errorf("Run error %q does not identify the failing tuple", err)
+	}
+
+	// The parallel wrapper keeps the joined aggregate.
+	_, _, _, err = pvcagg.RunParallel(db, plan, pvcagg.ParallelOptions{Parallelism: 4})
+	if err == nil || !strings.Contains(err.Error(), "tuples failed") {
+		t.Errorf("RunParallel error %v, want the joined aggregate", err)
+	}
+}
+
+// TestDeprecatedApproximateDelegation: the expression-level Approximate
+// reproduces ExecExpr's anytime output.
+func TestDeprecatedApproximateDelegation(t *testing.T) {
+	reg := pvcagg.NewRegistry()
+	reg.DeclareBool("x", 0.5)
+	reg.DeclareBool("y", 0.5)
+	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
+	aopts := pvcagg.ApproxOptions{Eps: 0.01}
+
+	want, err := pvcagg.ExecExpr(context.Background(), e, reg, pvcagg.Boolean,
+		pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithApprox(aopts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rep, err := pvcagg.Approximate(e, reg, pvcagg.Boolean, aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != want.Confidence {
+		t.Errorf("Approximate bounds %v != ExecExpr %v", b, want.Confidence)
+	}
+	if rep.Expansions != want.Approx.Expansions || rep.ExactNodes != want.Approx.ExactNodes ||
+		rep.TreeNodes != want.Approx.TreeNodes || rep.Converged != want.Approx.Converged {
+		t.Errorf("Approximate report %+v != ExecExpr %+v", rep, *want.Approx)
+	}
+}

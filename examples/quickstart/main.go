@@ -1,11 +1,12 @@
 // Quickstart: declare random variables, parse a conditional aggregate
 // expression, and compute its exact probability distribution by knowledge
-// compilation. Run with:
+// compilation through the unified ExecExpr entrypoint. Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A tiny uncertain inventory: each reading exists with some
 	// probability.
 	reg := pvcagg.NewRegistry()
@@ -25,31 +28,42 @@ func main() {
 	e := pvcagg.MustParseExpr(
 		"[sum(warehouse_a @sum 50, warehouse_b @sum 40, warehouse_c @sum 80) <= 120]")
 
-	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
-	dist, report, err := p.Distribution(e)
+	res, err := pvcagg.ExecExpr(ctx, e, reg, pvcagg.Boolean)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("expression:  ", pvcagg.ExprString(e))
-	fmt.Println("distribution:", dist)
-	fmt.Printf("P[total ≤ 120] = %.4f\n", dist.P(pvcagg.BoolV(true)))
+	fmt.Println("strategy:    ", res.Strategy)
+	fmt.Println("distribution:", res.Dist)
+	fmt.Printf("P[total ≤ 120] = %.4f\n", res.Confidence.Lo)
 	fmt.Printf("d-tree: %d nodes, largest intermediate distribution %d entries\n",
-		report.Tree.Nodes, report.Eval.MaxDistSize)
+		res.Report.Tree.Nodes, res.Report.Eval.MaxDistSize)
 
-	// The distribution of the SUM itself.
+	// The distribution of the SUM itself (a semimodule expression —
+	// always computed exactly).
 	sum := pvcagg.MustParseExpr(
 		"sum(warehouse_a @sum 50, warehouse_b @sum 40, warehouse_c @sum 80)")
-	dist, _, err = p.Distribution(sum)
+	sumRes, err := pvcagg.ExecExpr(ctx, sum, reg, pvcagg.Boolean)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nstock distribution:", dist)
-	fmt.Printf("expected stock: %.1f units\n", dist.Expectation())
+	fmt.Println("\nstock distribution:", sumRes.Dist)
+	fmt.Printf("expected stock: %.1f units\n", sumRes.Dist.Expectation())
+
+	// Hard expressions can instead be bracketed by the anytime engine —
+	// guaranteed bounds of width ≤ ε:
+	approx, err := pvcagg.ExecExpr(ctx, e, reg, pvcagg.Boolean,
+		pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithEps(0.01))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanytime bounds: %v (converged=%v)\n",
+		approx.Confidence, approx.Approx.Converged)
 
 	// Cross-check against brute-force possible-worlds enumeration.
 	exact, err := pvcagg.Enumerate(sum, reg, pvcagg.Boolean)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("enumeration agrees:", dist.Equal(exact, 1e-12))
+	fmt.Println("enumeration agrees:", sumRes.Dist.Equal(exact, 1e-12))
 }

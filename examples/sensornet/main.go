@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,16 @@ func main() {
 	for _, s := range sensors {
 		reg.DeclareBool(s.name, s.arrival)
 	}
-	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
+	ctx := context.Background()
+	// exec computes one expression's exact distribution through the
+	// unified entrypoint.
+	exec := func(e pvcagg.Expr) (pvcagg.Dist, *pvcagg.ExprResult) {
+		res, err := pvcagg.ExecExpr(ctx, e, reg, pvcagg.Boolean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Dist, res
+	}
 
 	// MAX: "does any sensor report above 35°C?" — fire-alarm style.
 	terms := ""
@@ -43,12 +53,9 @@ func main() {
 		terms += fmt.Sprintf("%s @max %d", s.name, s.temp)
 	}
 	alarm := pvcagg.MustParseExpr("[max(" + terms + ") > 35]")
-	d, rep, err := p.Distribution(alarm)
-	if err != nil {
-		log.Fatal(err)
-	}
+	d, res := exec(alarm)
 	fmt.Printf("P[max temperature > 35°C] = %.4f  (d-tree: %d nodes)\n",
-		d.P(pvcagg.BoolV(true)), rep.Tree.Nodes)
+		d.P(pvcagg.BoolV(true)), res.Report.Tree.Nodes)
 
 	// MIN: "is the coldest reported reading below 15°C?" Note the MIN
 	// neutral element +∞: with no reports the condition is false.
@@ -60,10 +67,7 @@ func main() {
 		minTerms += fmt.Sprintf("%s @min %d", s.name, s.temp)
 	}
 	frost := pvcagg.MustParseExpr("[min(" + minTerms + ") < 15]")
-	d, _, err = p.Distribution(frost)
-	if err != nil {
-		log.Fatal(err)
-	}
+	d, _ = exec(frost)
 	fmt.Printf("P[min temperature < 15°C] = %.4f (no sensor is below 15)\n", d.P(pvcagg.BoolV(true)))
 
 	// COUNT: full distribution of how many sensors report.
@@ -75,10 +79,7 @@ func main() {
 		countTerms += fmt.Sprintf("%s @count 1", s.name)
 	}
 	reports := pvcagg.MustParseExpr("count(" + countTerms + ")")
-	d, _, err = p.Distribution(reports)
-	if err != nil {
-		log.Fatal(err)
-	}
+	d, _ = exec(reports)
 	fmt.Println("\nreport-count distribution:")
 	for _, pair := range d.Pairs() {
 		fmt.Printf("  P[%s sensors report] = %.4f\n", pair.V, pair.P)
@@ -88,15 +89,13 @@ func main() {
 	// report AND the average is plausible — here the SUM as a proxy.
 	quorum := pvcagg.MustParseExpr(
 		"[count(" + countTerms + ") >= 4] * [sum(" + sumTerms(sensors) + ") <= 120]")
-	d, _, err = p.Distribution(quorum)
-	if err != nil {
-		log.Fatal(err)
-	}
+	d, _ = exec(quorum)
 	fmt.Printf("\nP[quorum ∧ sum ≤ 120] = %.4f\n", d.P(pvcagg.BoolV(true)))
 
 	// Exact joint distribution of (quorum condition, report count) —
-	// correlated expressions, handled by mutex decomposition.
-	joint, err := p.Joint([]pvcagg.Expr{quorum, reports})
+	// correlated expressions, handled by mutex decomposition (the one
+	// computation with no Exec counterpart: it stays on the Pipeline).
+	joint, err := pvcagg.NewPipeline(pvcagg.Boolean, reg).Joint([]pvcagg.Expr{quorum, reports})
 	if err != nil {
 		log.Fatal(err)
 	}

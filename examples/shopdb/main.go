@@ -1,12 +1,15 @@
 // Shopdb reproduces the paper's running example (Figure 1): the
 // suppliers/products database, the positive query Q1 and the aggregate
 // query Q2 ("shops in which the maximal price for the products in P1 or
-// P2 is at most 50"), with exact answer probabilities. Run with:
+// P2 is at most 50"), with exact answer probabilities computed through
+// the unified Exec entrypoint in Auto mode — Classify routes each query
+// to the exact or anytime engine. Run with:
 //
 //	go run ./examples/shopdb
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := build()
 
 	// Q1 = π_{shop, price}[ S ⋈ PS ⋈ (P1 ∪ P2) ]           (Figure 1d)
@@ -38,23 +42,32 @@ func main() {
 	}
 
 	fmt.Println("Q1 =", q1)
-	rel, results, _, err := pvcagg.Run(db, q1)
+	res, err := pvcagg.Exec(ctx, db, q1, pvcagg.WithMode(pvcagg.Exact))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(rel)
-	for _, r := range results {
-		fmt.Printf("  P[%s, %s] = %.6g\n", r.Tuple.Cells[0], r.Tuple.Cells[1], r.Confidence)
+	outs, err := res.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rel)
+	for _, o := range outs {
+		fmt.Printf("  P[%s, %s] = %.6g\n", o.Tuple.Cells[0], o.Tuple.Cells[1], o.Confidence.Lo)
 	}
 
 	fmt.Println("\nQ2 =", q2)
-	rel, results, _, err = pvcagg.Run(db, q2)
+	res, err = pvcagg.Exec(ctx, db, q2) // Auto: Classify picks the engine
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(rel)
-	for _, r := range results {
-		fmt.Printf("  P[%s answers] = %.6g\n", r.Tuple.Cells[0], r.Confidence)
+	outs, err = res.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rel)
+	fmt.Println("  strategy:", res.Strategy)
+	for _, o := range outs {
+		fmt.Printf("  P[%s answers] = %.6g\n", o.Tuple.Cells[0], o.Confidence.Lo)
 	}
 
 	// Example 9's variant Q2′ with MIN instead of MAX.
@@ -70,12 +83,16 @@ func main() {
 		},
 	}
 	fmt.Println("\nQ2' (Example 9, MIN) =", q2prime)
-	_, results, _, err = pvcagg.Run(db, q2prime)
+	res, err = pvcagg.Exec(ctx, db, q2prime, pvcagg.WithMode(pvcagg.Exact))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
-		fmt.Printf("  P[%s answers] = %.6g\n", r.Tuple.Cells[0], r.Confidence)
+	// Stream the answers as workers finish instead of waiting for all.
+	for o, err := range res.Results() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P[%s answers] = %.6g\n", o.Tuple.Cells[0], o.Confidence.Lo)
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.001, "TPC-H scale factor")
 	flag.Parse()
+	ctx := context.Background()
 
 	db, err := tpch.Generate(tpch.Config{
 		SF: *sf, Seed: 42, Probabilistic: true, TupleProb: 0.9,
@@ -32,30 +34,43 @@ func main() {
 	// Q1: SELECT l_returnflag, l_linestatus, COUNT(*) FROM lineitem
 	//     WHERE l_shipdate <= 1200 GROUP BY l_returnflag, l_linestatus
 	fmt.Println("TPC-H Q1 (grouped COUNT):")
-	rel, results, timing, err := pvcagg.Run(db, tpch.Q1(1200))
+	res, err := pvcagg.Exec(ctx, db, tpch.Q1(1200), pvcagg.WithMode(pvcagg.Exact))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
-		d := r.AggDists[0]
-		fmt.Printf("  %s/%s: P[group] = %.4f, E[count] = %.1f, count support = %d values\n",
-			r.Tuple.Cells[0], r.Tuple.Cells[1], r.Confidence, d.Expectation(), d.Size())
+	outs, err := res.Collect()
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("  construction ⟦·⟧ %v, probability P(·) %v\n\n", timing.Construct, timing.Probability)
+	for _, o := range outs {
+		d := o.AggDists[0]
+		fmt.Printf("  %s/%s: P[group] = %.4f, E[count] = %.1f, count support = %d values\n",
+			o.Tuple.Cells[0], o.Tuple.Cells[1], o.Confidence.Lo, d.Expectation(), d.Size())
+	}
+	fmt.Printf("  construction ⟦·⟧ %v, probability P(·) %v\n\n", res.Timing.Construct, res.Timing.Probability)
 
 	// Q2: minimum-cost suppliers for part 1 in AFRICA, with a nested
-	// aggregation sub-query.
+	// aggregation sub-query; Auto mode lets Classify pick the engine.
 	fmt.Println("TPC-H Q2 (nested MIN over a 5-way join):")
-	rel, results, timing, err = pvcagg.Run(db, tpch.Q2(1, "AFRICA"))
+	res, err = pvcagg.Exec(ctx, db, tpch.Q2(1, "AFRICA"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if rel.Len() == 0 {
+	if res.Len() == 0 {
 		fmt.Println("  (no candidate suppliers at this scale — try a larger -sf)")
 		return
 	}
-	for _, r := range results {
-		fmt.Printf("  %s: P[is the cheapest supplier] = %.4f\n", r.Tuple.Cells[0], r.Confidence)
+	outs, err = res.Collect()
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("  construction ⟦·⟧ %v, probability P(·) %v\n", timing.Construct, timing.Probability)
+	fmt.Println("  strategy:", res.Strategy)
+	for _, o := range outs {
+		if o.Confidence.Lo == o.Confidence.Hi {
+			fmt.Printf("  %s: P[is the cheapest supplier] = %.4f\n", o.Tuple.Cells[0], o.Confidence.Lo)
+		} else {
+			fmt.Printf("  %s: P[is the cheapest supplier] ∈ %v\n", o.Tuple.Cells[0], o.Confidence)
+		}
+	}
+	fmt.Printf("  construction ⟦·⟧ %v, probability P(·) %v\n", res.Timing.Construct, res.Timing.Probability)
 }

@@ -11,6 +11,7 @@
 package benchx
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -77,12 +78,13 @@ func measure(p gen.Params, o Options) Point {
 			Registry: inst.Registry,
 			Options:  compile.Options{MaxNodes: o.MaxNodes},
 		}
+		ctx := context.Background()
 		t0 := time.Now()
 		runNodes := 0
 		var err error
 		if o.Eps > 0 {
 			var arep compile.ApproxReport
-			_, arep, err = pl.TruthProbabilityApprox(inst.Expr, compile.ApproxOptions{Eps: o.Eps, MaxNodes: o.MaxNodes})
+			_, arep, err = pl.TruthProbabilityApproxCtx(ctx, inst.Expr, compile.ApproxOptions{Eps: o.Eps, MaxNodes: o.MaxNodes})
 			runNodes = arep.TotalNodes()
 			if err == nil && !arep.Converged {
 				// A budget-exhausted anytime run is the analogue of the
@@ -94,9 +96,9 @@ func measure(p gen.Params, o Options) Point {
 		} else {
 			var rep core.Report
 			if o.Parallel > 1 {
-				_, rep, err = pl.DistributionParallel(inst.Expr, o.Parallel)
+				_, rep, err = pl.DistributionParallelCtx(ctx, inst.Expr, o.Parallel)
 			} else {
-				_, rep, err = pl.Distribution(inst.Expr)
+				_, rep, err = pl.DistributionCtx(ctx, inst.Expr)
 			}
 			runNodes = rep.Tree.Nodes
 		}
@@ -276,24 +278,24 @@ func ExperimentF(sfs []float64, seed int64, parallelism int, eps float64) ([]FPo
 				return nil, fmt.Errorf("benchx: %s Q0 at SF %v: %w", q.name, sf, err)
 			}
 			q0 := time.Since(t0)
-			var rel *pvc.Relation
-			var timing engine.RunTiming
-			switch {
-			case eps > 0:
-				rel, _, timing, err = engine.RunApprox(prb, q.plan, compile.ApproxOptions{Eps: eps},
-					engine.ParallelOptions{Parallelism: parallelism})
-			case parallelism > 1:
-				rel, _, timing, err = engine.RunParallel(prb, q.plan, compile.Options{},
-					engine.ParallelOptions{Parallelism: parallelism})
-			default:
-				rel, _, timing, err = engine.Run(prb, q.plan, compile.Options{})
+			// One unified engine configuration covers all three measured
+			// variants: exact sequential, exact parallel, anytime.
+			cfg := engine.ExecConfig{Parallelism: parallelism}
+			if eps > 0 {
+				cfg.Approx = &compile.ApproxOptions{Eps: eps}
 			}
+			ctx := context.Background()
+			rel, construct, err := engine.EvalPlan(ctx, prb, q.plan)
 			if err != nil {
+				return nil, fmt.Errorf("benchx: %s at SF %v: %w", q.name, sf, err)
+			}
+			t1 := time.Now()
+			if _, err := engine.Outcomes(ctx, prb, rel, cfg); err != nil {
 				return nil, fmt.Errorf("benchx: %s at SF %v: %w", q.name, sf, err)
 			}
 			out = append(out, FPoint{
 				Query: q.name, SF: sf,
-				Q0: q0, JK: timing.Construct, P: timing.Probability,
+				Q0: q0, JK: construct, P: time.Since(t1),
 				Tuples: rel.Len(),
 			})
 		}

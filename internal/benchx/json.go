@@ -1,0 +1,48 @@
+package benchx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file makes benchmark results emittable as machine-readable JSON
+// (BENCH_exec.json), so the performance trajectory of the Exec engine can
+// accumulate across PRs instead of living only in transient -bench
+// output.
+
+// BenchRecord is one benchmark measurement in the emitted JSON.
+type BenchRecord struct {
+	// Name identifies the benchmark, e.g. "Exec/exact/Q1/sf=0.001".
+	Name string `json:"name"`
+	// N is the number of iterations the measurement averaged over.
+	N int `json:"n"`
+	// NsPerOp is the mean wall-clock time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the allocation statistics, when the
+	// benchmark recorded them.
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	// Extra carries benchmark-specific metrics (node counts, tuple
+	// counts, bound widths).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// WriteBenchJSON writes the records to path as indented JSON, atomically
+// (write-then-rename), so a crashed benchmark run cannot leave a
+// truncated file behind.
+func WriteBenchJSON(path string, records []BenchRecord) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: marshal bench records: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("benchx: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("benchx: rename %s: %w", tmp, err)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package compile
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -129,6 +130,18 @@ func (r ApproxReport) TotalNodes() int { return r.TreeNodes + r.ExactNodes + r.W
 // contains the exact probability; Converged reports whether the target was
 // reached within the budgets.
 func Approximate(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts ApproxOptions) (Bounds, ApproxReport, error) {
+	return ApproximateCtx(context.Background(), s, reg, e, opts)
+}
+
+// ApproximateCtx is Approximate under a context: the frontier loop polls
+// ctx between expansions and every exact leaf closure compiles under it,
+// so cancellation aborts the anytime computation promptly with ctx.Err()
+// (cancellation is an error, not an early convergence — no partial bounds
+// are returned).
+func ApproximateCtx(ctx context.Context, s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts ApproxOptions) (Bounds, ApproxReport, error) {
+	if err := ctx.Err(); err != nil {
+		return Bounds{}, ApproxReport{}, err
+	}
 	if e.Kind() != expr.KindSemiring {
 		return Bounds{}, ApproxReport{}, fmt.Errorf("compile: Approximate of a module expression %s", expr.String(e))
 	}
@@ -151,7 +164,7 @@ func Approximate(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts Appro
 		if opts.MaxNodes > 0 && (co.MaxNodes == 0 || opts.MaxNodes < co.MaxNodes) {
 			co.MaxNodes = opts.MaxNodes
 		}
-		b, nodes, err := exactTruth(s, reg, e, co)
+		b, nodes, err := exactTruth(ctx, s, reg, e, co)
 		if err != nil {
 			return Bounds{}, ApproxReport{}, err
 		}
@@ -164,7 +177,7 @@ func Approximate(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts Appro
 		}
 		return b, rep, nil
 	}
-	ax := &approximator{s: s, reg: reg, opts: opts, memo: map[string]closure{}, tier: opts.leafBudget()}
+	ax := &approximator{s: s, reg: reg, opts: opts, ctx: ctx, memo: map[string]closure{}, tier: opts.leafBudget()}
 	root, err := ax.classify(expr.Simplify(e, s))
 	if err != nil {
 		return Bounds{}, ApproxReport{}, err
@@ -186,9 +199,9 @@ func Approximate(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts Appro
 
 // exactTruth runs the exact compile→evaluate pipeline and returns the truth
 // probability as a point interval.
-func exactTruth(s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts Options) (Bounds, int, error) {
+func exactTruth(ctx context.Context, s algebra.Semiring, reg *vars.Registry, e expr.Expr, opts Options) (Bounds, int, error) {
 	c := New(s, reg, opts)
-	res, err := c.Compile(e)
+	res, err := c.CompileCtx(ctx, e)
 	if err != nil {
 		// The nodes created before a budget abort are real work; report
 		// them so ApproxReport and MaxNodes account for failed closures.
@@ -346,6 +359,7 @@ type approximator struct {
 	s        algebra.Semiring
 	reg      *vars.Registry
 	opts     ApproxOptions
+	ctx      context.Context
 	root     *anode
 	frontier frontierHeap
 	rep      ApproxReport
@@ -542,7 +556,7 @@ func (ax *approximator) close(key string, e expr.Expr, budget int) (float64, boo
 	}
 	o := ax.opts.Compile
 	o.MaxNodes = budget
-	b, nodes, err := exactTruth(ax.s, ax.reg, e, o)
+	b, nodes, err := exactTruth(ax.ctx, ax.s, ax.reg, e, o)
 	if err == nil {
 		ax.rep.ExactNodes += nodes
 		ax.rep.ExactLeaves++
@@ -565,6 +579,9 @@ func (ax *approximator) run(t0 time.Time) error {
 	ax.initWidth = ax.root.hi - ax.root.lo
 	ax.lastWidth = ax.initWidth
 	for ax.root.hi-ax.root.lo > ax.opts.Eps {
+		if err := ax.ctx.Err(); err != nil {
+			return err
+		}
 		if ax.opts.MaxExpansions > 0 && ax.rep.Expansions >= ax.opts.MaxExpansions {
 			return nil
 		}

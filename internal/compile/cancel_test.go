@@ -1,0 +1,119 @@
+package compile_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/compile"
+	"pvcagg/internal/gen"
+	"pvcagg/internal/value"
+)
+
+// cancelInstance is a generated hard (non-Qind/Qhie) instance whose exact
+// compilation takes hundreds of milliseconds at least (the same shape as
+// TestApproxHardInstance's acceptance instance): long enough that a
+// cancellation arriving a few milliseconds in is guaranteed to interrupt
+// mid-compile on every path.
+func cancelInstance(t *testing.T) gen.Instance {
+	t.Helper()
+	p := gen.Params{
+		L: 30, R: 15, NumVars: 22, NumClauses: 2, NumLiterals: 2,
+		MaxV: 200, AggL: algebra.Min, AggR: algebra.Count, Theta: value.LE,
+		VarProb: 0.95, Seed: 1,
+	}
+	return gen.MustNew(p)
+}
+
+// promptness is the acceptance bound on how long a cancelled compilation
+// may keep running after cancel() fires: compilations poll ctx every 256
+// created nodes, which is microseconds of work.
+const promptness = 100 * time.Millisecond
+
+// assertCancels runs f with a context cancelled after a few milliseconds
+// and asserts that f returns context.Canceled within the promptness bound
+// of the cancellation.
+func assertCancels(t *testing.T, path string, f func(ctx context.Context) error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- f(ctx) }()
+	// Let the compilation get going before pulling the plug; if it
+	// finishes faster than the fuse the instance was not hard enough.
+	fuse := 10 * time.Millisecond
+	select {
+	case err := <-errc:
+		t.Fatalf("%s: compilation finished in under %v (err=%v); instance not hard enough to test cancellation", path, fuse, err)
+	case <-time.After(fuse):
+	}
+	t0 := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if elapsed := time.Since(t0); elapsed > promptness {
+			t.Errorf("%s: returned %v after cancel, want < %v", path, elapsed, promptness)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error = %v, want context.Canceled", path, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: compilation did not return within 5s of cancellation", path)
+	}
+}
+
+// TestCancelSequentialCompile: a cancelled context aborts the sequential
+// compiler mid-Shannon-expansion, promptly.
+func TestCancelSequentialCompile(t *testing.T) {
+	inst := cancelInstance(t)
+	s := algebra.SemiringFor(algebra.Boolean)
+	assertCancels(t, "sequential", func(ctx context.Context) error {
+		c := compile.New(s, inst.Registry, compile.Options{})
+		_, err := c.CompileCtx(ctx, inst.Expr)
+		return err
+	})
+}
+
+// TestCancelParallelCompile: cancellation reaches every worker of the
+// parallel fan-out.
+func TestCancelParallelCompile(t *testing.T) {
+	inst := cancelInstance(t)
+	s := algebra.SemiringFor(algebra.Boolean)
+	assertCancels(t, "parallel", func(ctx context.Context) error {
+		c := compile.NewParallel(s, inst.Registry, compile.Options{}, 4)
+		_, err := c.CompileCtx(ctx, inst.Expr)
+		return err
+	})
+}
+
+// TestCancelApproximate: cancellation aborts the anytime frontier loop
+// and its exact leaf closures. ε is far below what the instance can reach
+// quickly, so the engine is guaranteed to still be expanding when the
+// cancellation lands.
+func TestCancelApproximate(t *testing.T) {
+	inst := cancelInstance(t)
+	s := algebra.SemiringFor(algebra.Boolean)
+	assertCancels(t, "anytime", func(ctx context.Context) error {
+		_, _, err := compile.ApproximateCtx(ctx, s, inst.Registry, inst.Expr, compile.ApproxOptions{Eps: 1e-9})
+		return err
+	})
+}
+
+// TestCancelBeforeStart: an already-cancelled context aborts before any
+// expansion work on all three paths.
+func TestCancelBeforeStart(t *testing.T) {
+	inst := cancelInstance(t)
+	s := algebra.SemiringFor(algebra.Boolean)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := compile.New(s, inst.Registry, compile.Options{}).CompileCtx(ctx, inst.Expr); !errors.Is(err, context.Canceled) {
+		t.Errorf("sequential: error = %v, want context.Canceled", err)
+	}
+	if _, err := compile.NewParallel(s, inst.Registry, compile.Options{}, 4).CompileCtx(ctx, inst.Expr); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel: error = %v, want context.Canceled", err)
+	}
+	if _, _, err := compile.ApproximateCtx(ctx, s, inst.Registry, inst.Expr, compile.ApproxOptions{Eps: 1e-9}); !errors.Is(err, context.Canceled) {
+		t.Errorf("anytime: error = %v, want context.Canceled", err)
+	}
+}

@@ -19,6 +19,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -88,6 +89,7 @@ type Compiler struct {
 	reg  *vars.Registry
 	opts Options
 	memo map[string]dtree.Node
+	ctx  context.Context
 	st   Stats
 }
 
@@ -96,16 +98,33 @@ func New(s algebra.Semiring, reg *vars.Registry, opts Options) *Compiler {
 	return &Compiler{s: s, reg: reg, opts: opts, memo: map[string]dtree.Node{}}
 }
 
+// ctxCheckMask throttles cancellation polls to one per 256 nodes created:
+// node creation is the unit of expansion work, so a runaway Shannon
+// expansion notices a cancelled context within a few thousand cheap steps
+// (well under a millisecond) without an atomic load on every node.
+const ctxCheckMask = 255
+
 // Compile compiles e into a d-tree. The result's distribution (computed by
 // dtree.Evaluate) equals the distribution of e over the registry's
 // probability space (Proposition 4).
 func (c *Compiler) Compile(e expr.Expr) (Result, error) {
+	return c.CompileCtx(context.Background(), e)
+}
+
+// CompileCtx is Compile under a context: compilation polls ctx at
+// expansion steps and aborts with ctx.Err() once it is cancelled, turning
+// runaway Shannon expansions into promptly-interruptible work.
+func (c *Compiler) CompileCtx(ctx context.Context, e expr.Expr) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := expr.Validate(e); err != nil {
 		return Result{}, err
 	}
 	if err := c.reg.CheckDeclared(e); err != nil {
 		return Result{}, err
 	}
+	c.ctx = ctx
 	c.st = Stats{}
 	root, err := c.compile(expr.Simplify(e, c.s))
 	if err != nil {
@@ -118,6 +137,11 @@ func (c *Compiler) Compile(e expr.Expr) (Result, error) {
 
 func (c *Compiler) newNode(n dtree.Node) (dtree.Node, error) {
 	c.st.Nodes++
+	if c.ctx != nil && c.st.Nodes&ctxCheckMask == 0 {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if c.opts.MaxNodes > 0 && c.st.Nodes > c.opts.MaxNodes {
 		return nil, fmt.Errorf("compile: d-tree exceeds %d nodes: %w", c.opts.MaxNodes, ErrNodeBudget)
 	}

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -122,6 +123,16 @@ func (pc *ParallelCompiler) Parallelism() int { return pc.par }
 // sequential Compiler's (Proposition 4 — the decomposition rules applied
 // are the same, only their schedule differs).
 func (pc *ParallelCompiler) Compile(e expr.Expr) (Result, error) {
+	return pc.CompileCtx(context.Background(), e)
+}
+
+// CompileCtx is Compile under a context: every worker polls ctx at
+// expansion steps, so cancellation aborts all branches of the fan-out
+// promptly with ctx.Err().
+func (pc *ParallelCompiler) CompileCtx(ctx context.Context, e expr.Expr) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := expr.Validate(e); err != nil {
 		return Result{}, err
 	}
@@ -132,6 +143,7 @@ func (pc *ParallelCompiler) Compile(e expr.Expr) (Result, error) {
 		s:    pc.s,
 		reg:  pc.reg,
 		opts: pc.opts,
+		ctx:  ctx,
 		sem:  make(chan struct{}, pc.par-1),
 		memo: newShardedMemo(),
 	}
@@ -160,6 +172,7 @@ type prun struct {
 	s    algebra.Semiring
 	reg  *vars.Registry
 	opts Options
+	ctx  context.Context
 	sem  chan struct{}
 	memo *shardedMemo
 
@@ -199,6 +212,11 @@ func (r *prun) fail(err error) error {
 
 func (r *prun) newNode(n dtree.Node) (dtree.Node, error) {
 	c := r.nodes.Add(1)
+	if r.ctx != nil && c&ctxCheckMask == 0 {
+		if err := r.ctx.Err(); err != nil {
+			return nil, r.fail(err)
+		}
+	}
 	if r.opts.MaxNodes > 0 && c > int64(r.opts.MaxNodes) {
 		return nil, r.fail(fmt.Errorf("compile: d-tree exceeds %d nodes: %w", r.opts.MaxNodes, ErrNodeBudget))
 	}

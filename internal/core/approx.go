@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pvcagg/internal/compile"
@@ -15,11 +16,18 @@ import (
 // ApproxReport.Converged reports whether its width reached opts.Eps within
 // the budgets.
 func (p *Pipeline) TruthProbabilityApprox(e expr.Expr, opts compile.ApproxOptions) (compile.Bounds, compile.ApproxReport, error) {
+	return p.TruthProbabilityApproxCtx(context.Background(), e, opts)
+}
+
+// TruthProbabilityApproxCtx is TruthProbabilityApprox under a context: the
+// frontier loop and every exact leaf closure poll ctx, so cancellation
+// aborts the anytime computation promptly with ctx.Err().
+func (p *Pipeline) TruthProbabilityApproxCtx(ctx context.Context, e expr.Expr, opts compile.ApproxOptions) (compile.Bounds, compile.ApproxReport, error) {
 	if e.Kind() != expr.KindSemiring {
 		return compile.Bounds{}, compile.ApproxReport{}, fmt.Errorf("core: TruthProbabilityApprox of a module expression %s", expr.String(e))
 	}
 	opts.Compile = p.Options
-	b, rep, err := compile.Approximate(p.Semiring, p.Registry, e, opts)
+	b, rep, err := compile.ApproximateCtx(ctx, p.Semiring, p.Registry, e, opts)
 	if err != nil {
 		return compile.Bounds{}, rep, fmt.Errorf("core: approximate %s: %w", expr.String(e), err)
 	}

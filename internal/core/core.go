@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,10 +48,16 @@ type Report struct {
 
 // Distribution compiles e and computes its exact probability distribution.
 func (p *Pipeline) Distribution(e expr.Expr) (prob.Dist, Report, error) {
+	return p.DistributionCtx(context.Background(), e)
+}
+
+// DistributionCtx is Distribution under a context: compilation polls ctx
+// at expansion steps and aborts with ctx.Err() once it is cancelled.
+func (p *Pipeline) DistributionCtx(ctx context.Context, e expr.Expr) (prob.Dist, Report, error) {
 	var rep Report
 	c := compile.New(p.Semiring, p.Registry, p.Options)
 	t0 := time.Now()
-	res, err := c.Compile(e)
+	res, err := c.CompileCtx(ctx, e)
 	if err != nil {
 		return prob.Dist{}, rep, fmt.Errorf("core: compile %s: %w", expr.String(e), err)
 	}
@@ -71,10 +78,15 @@ func (p *Pipeline) Distribution(e expr.Expr) (prob.Dist, Report, error) {
 // evaluates to a non-zero semiring element — the confidence of a tuple
 // annotated with e.
 func (p *Pipeline) TruthProbability(e expr.Expr) (float64, Report, error) {
+	return p.TruthProbabilityCtx(context.Background(), e)
+}
+
+// TruthProbabilityCtx is TruthProbability under a context.
+func (p *Pipeline) TruthProbabilityCtx(ctx context.Context, e expr.Expr) (float64, Report, error) {
 	if e.Kind() != expr.KindSemiring {
 		return 0, Report{}, fmt.Errorf("core: TruthProbability of a module expression %s", expr.String(e))
 	}
-	d, rep, err := p.Distribution(e)
+	d, rep, err := p.DistributionCtx(ctx, e)
 	if err != nil {
 		return 0, rep, err
 	}

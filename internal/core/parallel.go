@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,10 +19,17 @@ import (
 // their order are identical to the sequential path, so the returned
 // distribution is bit-identical to Distribution's.
 func (p *Pipeline) DistributionParallel(e expr.Expr, parallelism int) (prob.Dist, Report, error) {
+	return p.DistributionParallelCtx(context.Background(), e, parallelism)
+}
+
+// DistributionParallelCtx is DistributionParallel under a context: every
+// compilation worker polls ctx at expansion steps, so cancellation aborts
+// the whole fan-out promptly with ctx.Err().
+func (p *Pipeline) DistributionParallelCtx(ctx context.Context, e expr.Expr, parallelism int) (prob.Dist, Report, error) {
 	var rep Report
 	c := compile.NewParallel(p.Semiring, p.Registry, p.Options, parallelism)
 	t0 := time.Now()
-	res, err := c.Compile(e)
+	res, err := c.CompileCtx(ctx, e)
 	if err != nil {
 		return prob.Dist{}, rep, fmt.Errorf("core: compile %s: %w", expr.String(e), err)
 	}
@@ -41,10 +49,15 @@ func (p *Pipeline) DistributionParallel(e expr.Expr, parallelism int) (prob.Dist
 // TruthProbabilityParallel is TruthProbability backed by
 // DistributionParallel.
 func (p *Pipeline) TruthProbabilityParallel(e expr.Expr, parallelism int) (float64, Report, error) {
+	return p.TruthProbabilityParallelCtx(context.Background(), e, parallelism)
+}
+
+// TruthProbabilityParallelCtx is TruthProbabilityParallel under a context.
+func (p *Pipeline) TruthProbabilityParallelCtx(ctx context.Context, e expr.Expr, parallelism int) (float64, Report, error) {
 	if e.Kind() != expr.KindSemiring {
 		return 0, Report{}, fmt.Errorf("core: TruthProbability of a module expression %s", expr.String(e))
 	}
-	d, rep, err := p.DistributionParallel(e, parallelism)
+	d, rep, err := p.DistributionParallelCtx(ctx, e, parallelism)
 	if err != nil {
 		return 0, rep, err
 	}

@@ -1,31 +1,29 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"pvcagg/internal/compile"
-	"pvcagg/internal/core"
-	"pvcagg/internal/expr"
 	"pvcagg/internal/prob"
 	"pvcagg/internal/pvc"
 )
 
-// This file surfaces the anytime approximate probability engine
-// (compile.Approximate) at the pvc-table level: every result tuple's
-// confidence is bracketed by guaranteed bounds of width ≤ ε instead of
-// computed exactly, which makes queries with intractable annotations
-// answerable. Aggregation-column distributions stay exact — the hardness
-// of selections on aggregates lives in the annotations (the conditional
+// This file surfaces the anytime approximate probability engine at the
+// pvc-table level through the legacy entry points; the per-tuple
+// computation itself lives in the unified worker (exec.go), which
+// brackets every result tuple's confidence by guaranteed bounds of width
+// ≤ ε while aggregation-column distributions stay exact — the hardness of
+// selections on aggregates lives in the annotations (the conditional
 // expressions multiplied in by Select), which is precisely the part the
-// anytime engine approximates. Tuples fan out over the same bounded worker
-// pool as ProbabilitiesParallel; ε applies to each tuple independently.
+// anytime engine approximates.
 
 // ApproxTupleResult is the anytime interpretation of one result tuple:
 // guaranteed confidence bounds plus the exact marginal distribution of
 // every aggregation column.
+//
+// Deprecated: ApproxTupleResult is the anytime strategy's legacy result
+// type; new code consumes the unified TupleOutcome via Outcomes or
+// Stream.
 type ApproxTupleResult struct {
 	Tuple      pvc.Tuple
 	Confidence compile.Bounds
@@ -41,67 +39,18 @@ type ApproxTupleResult struct {
 // distribution of each aggregation column. Tuples are distributed over a
 // bounded worker pool; results are returned in tuple order, and every
 // failing tuple is reported, joined into one error.
+//
+// Deprecated: use Outcomes with ExecConfig.Approx set (or the facade's
+// Exec).
 func ProbabilitiesApprox(db *pvc.Database, rel *pvc.Relation, opts compile.ApproxOptions, par ParallelOptions) ([]ApproxTupleResult, error) {
-	n := len(rel.Tuples)
-	if n == 0 {
-		return []ApproxTupleResult{}, nil
-	}
-	workers, _ := par.split(n)
-	moduleCols := rel.Schema.ModuleColumns()
-	out := make([]ApproxTupleResult, n)
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One pipeline per worker for the exact aggregation columns;
-			// tuples share nothing beyond the read-only registry.
-			pl := &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts.Compile}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i], errs[i] = approxTupleResult(pl, rel.Tuples[i], moduleCols, opts)
-			}
-		}()
-	}
-	wg.Wait()
-	var failed []error
-	for _, err := range errs {
-		if err != nil {
-			failed = append(failed, err)
-		}
-	}
-	if len(failed) > 0 {
-		return nil, fmt.Errorf("engine: %d of %d tuples failed: %w", len(failed), n, errors.Join(failed...))
-	}
-	return out, nil
-}
-
-// approxTupleResult brackets one tuple's confidence and computes its exact
-// aggregation-column distributions.
-func approxTupleResult(pl *core.Pipeline, t pvc.Tuple, moduleCols []int, opts compile.ApproxOptions) (ApproxTupleResult, error) {
-	if t.Ann.Kind() != expr.KindSemiring {
-		return ApproxTupleResult{}, fmt.Errorf("engine: annotation of tuple %s is not a semiring expression", t.Key())
-	}
-	b, rep, err := pl.TruthProbabilityApprox(t.Ann, opts)
+	outs, err := Outcomes(context.Background(), db, rel,
+		ExecConfig{Compile: opts.Compile, Parallelism: par.Parallelism, Approx: &opts})
 	if err != nil {
-		return ApproxTupleResult{}, fmt.Errorf("engine: annotation of tuple %s: %w", t.Key(), err)
+		return nil, err
 	}
-	res := ApproxTupleResult{Tuple: t, Confidence: b, Report: rep}
-	for _, ci := range moduleCols {
-		e, err := t.Cells[ci].ModuleExpr()
-		if err != nil {
-			return ApproxTupleResult{}, err
-		}
-		d, _, err := pl.Distribution(e)
-		if err != nil {
-			return ApproxTupleResult{}, fmt.Errorf("engine: aggregation value %s: %w", expr.String(e), err)
-		}
-		res.AggDists = append(res.AggDists, d)
+	res := make([]ApproxTupleResult, len(outs))
+	for i, o := range outs {
+		res[i] = o.AsApproxTupleResult()
 	}
 	return res, nil
 }

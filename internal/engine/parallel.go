@@ -1,15 +1,11 @@
 package engine
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"pvcagg/internal/compile"
-	"pvcagg/internal/core"
 	"pvcagg/internal/pvc"
 )
 
@@ -57,48 +53,18 @@ func (o ParallelOptions) split(n int) (workers, inner int) {
 // computation is deterministic and tuples are independent). Unlike
 // Probabilities, which stops at the first failing tuple, every failing
 // tuple is reported: the returned error joins one error per tuple.
+//
+// Deprecated: use Outcomes with an ExecConfig (or the facade's Exec).
 func ProbabilitiesParallel(db *pvc.Database, rel *pvc.Relation, opts compile.Options, par ParallelOptions) ([]TupleResult, error) {
-	n := len(rel.Tuples)
-	if n == 0 {
-		return []TupleResult{}, nil
+	outs, err := Outcomes(context.Background(), db, rel, ExecConfig{Compile: opts, Parallelism: par.Parallelism})
+	if err != nil {
+		return nil, err
 	}
-	workers, inner := par.split(n)
-	moduleCols := rel.Schema.ModuleColumns()
-	out := make([]TupleResult, n)
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One pipeline per worker: core.Pipeline is not safe for
-			// concurrent use, but tuples share nothing beyond the
-			// read-only registry.
-			pr := prober{
-				pl:  &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts},
-				par: inner,
-			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i], errs[i] = tupleResult(pr, rel.Tuples[i], moduleCols)
-			}
-		}()
+	res := make([]TupleResult, len(outs))
+	for i, o := range outs {
+		res[i] = o.AsTupleResult()
 	}
-	wg.Wait()
-	var failed []error
-	for _, err := range errs {
-		if err != nil {
-			failed = append(failed, err)
-		}
-	}
-	if len(failed) > 0 {
-		return nil, fmt.Errorf("engine: %d of %d tuples failed: %w", len(failed), n, errors.Join(failed...))
-	}
-	return out, nil
+	return res, nil
 }
 
 // RunParallel is Run with the probability step parallelised. Expression

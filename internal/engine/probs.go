@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,10 @@ import (
 // TupleResult is the probabilistic interpretation of one result tuple:
 // its confidence (the probability that the annotation is non-zero) and the
 // marginal distribution of every aggregation column.
+//
+// Deprecated: TupleResult is the exact strategy's legacy result type; new
+// code consumes the unified TupleOutcome (whose Confidence is an interval,
+// zero-width for exact runs) via Outcomes or Stream.
 type TupleResult struct {
 	Tuple      pvc.Tuple
 	Confidence float64
@@ -41,67 +46,20 @@ type RunTiming struct {
 
 // Probabilities computes, for every tuple of rel, the confidence of its
 // annotation and the distribution of each aggregation column, by d-tree
-// compilation (Section 5).
+// compilation (Section 5). It stops at the first failing tuple; the
+// pooled Outcomes reports every failure.
 func Probabilities(db *pvc.Database, rel *pvc.Relation, opts compile.Options) ([]TupleResult, error) {
-	p := &core.Pipeline{Semiring: db.Semiring(), Registry: db.Registry, Options: opts}
-	pr := prober{pl: p, par: 1}
+	wk := newWorker(db, &ExecConfig{Compile: opts}, 1)
 	moduleCols := rel.Schema.ModuleColumns()
 	out := make([]TupleResult, 0, len(rel.Tuples))
-	for _, t := range rel.Tuples {
-		res, err := tupleResult(pr, t, moduleCols)
+	for i, t := range rel.Tuples {
+		o, err := wk.outcome(context.Background(), i, t, moduleCols)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, res)
+		out = append(out, o.AsTupleResult())
 	}
 	return out, nil
-}
-
-// prober routes one tuple's distribution computations through either the
-// sequential or the parallel compilation path (par > 1).
-type prober struct {
-	pl  *core.Pipeline
-	par int
-}
-
-func (pr prober) distribution(e expr.Expr) (prob.Dist, core.Report, error) {
-	if pr.par > 1 {
-		return pr.pl.DistributionParallel(e, pr.par)
-	}
-	return pr.pl.Distribution(e)
-}
-
-// tupleResult computes the probabilistic interpretation of one result
-// tuple: its confidence and the marginal distribution of every
-// aggregation column. Errors identify the tuple.
-func tupleResult(pr prober, t pvc.Tuple, moduleCols []int) (TupleResult, error) {
-	if t.Ann.Kind() != expr.KindSemiring {
-		return TupleResult{}, fmt.Errorf("engine: annotation of tuple %s is not a semiring expression", t.Key())
-	}
-	d, rep, err := pr.distribution(t.Ann)
-	if err != nil {
-		return TupleResult{}, fmt.Errorf("engine: annotation of tuple %s: %w", t.Key(), err)
-	}
-	res := TupleResult{Tuple: t, Confidence: d.TruthProbability(), Report: rep}
-	for _, ci := range moduleCols {
-		e, err := t.Cells[ci].ModuleExpr()
-		if err != nil {
-			return TupleResult{}, err
-		}
-		d, rep2, err := pr.distribution(e)
-		if err != nil {
-			return TupleResult{}, fmt.Errorf("engine: aggregation value %s: %w", expr.String(e), err)
-		}
-		res.AggDists = append(res.AggDists, d)
-		res.Report.Compile.Nodes += rep2.Compile.Nodes
-		res.Report.Eval.NodeEvals += rep2.Eval.NodeEvals
-		if rep2.Eval.MaxDistSize > res.Report.Eval.MaxDistSize {
-			res.Report.Eval.MaxDistSize = rep2.Eval.MaxDistSize
-		}
-		res.Report.CompileTime += rep2.CompileTime
-		res.Report.EvalTime += rep2.EvalTime
-	}
-	return res, nil
 }
 
 // JointResult computes the joint distribution of a tuple's annotation and

@@ -7,7 +7,9 @@
 package worlds
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"pvcagg/internal/algebra"
@@ -55,6 +57,16 @@ func Enumerate(e expr.Expr, reg *vars.Registry, s algebra.Semiring) (prob.Dist, 
 		pairs = append(pairs, prob.Pair{V: v, P: p})
 	}
 	return prob.FromPairs(pairs), nil
+}
+
+// Hoeffding95 brackets an estimated truth probability p from n samples
+// with the two-sided 95% Hoeffding interval, clamped to [0, 1]: the
+// half-width is sqrt(ln(2/0.05)/(2n)). The interval is statistical — it
+// contains the exact probability with probability >= 95% over the sample
+// draw, not always.
+func Hoeffding95(p float64, n int) (lo, hi float64) {
+	half := math.Sqrt(math.Log(2/0.05)/2) / math.Sqrt(float64(n))
+	return math.Max(0, p-half), math.Min(1, p+half)
 }
 
 // EnumerateJoint computes the exact joint distribution of several
@@ -109,6 +121,17 @@ func EnumerateJoint(es []expr.Expr, reg *vars.Registry, s algebra.Semiring) (map
 
 // MonteCarlo estimates the distribution of e from n sampled worlds.
 func MonteCarlo(e expr.Expr, reg *vars.Registry, s algebra.Semiring, n int, rng *rand.Rand) (prob.Dist, error) {
+	return MonteCarloCtx(context.Background(), e, reg, s, n, rng)
+}
+
+// MonteCarloCtx is MonteCarlo under a context: the sampling loop polls
+// ctx every 1024 worlds (polling consumes no randomness, so estimates
+// are identical to MonteCarlo's) and aborts with ctx.Err() once it is
+// cancelled.
+func MonteCarloCtx(ctx context.Context, e expr.Expr, reg *vars.Registry, s algebra.Semiring, n int, rng *rand.Rand) (prob.Dist, error) {
+	if err := ctx.Err(); err != nil {
+		return prob.Dist{}, err
+	}
 	if err := reg.CheckDeclared(e); err != nil {
 		return prob.Dist{}, err
 	}
@@ -119,6 +142,11 @@ func MonteCarlo(e expr.Expr, reg *vars.Registry, s algebra.Semiring, n int, rng 
 	acc := map[value.V]float64{}
 	w := 1 / float64(n)
 	for i := 0; i < n; i++ {
+		if i&1023 == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return prob.Dist{}, err
+			}
+		}
 		nu, err := reg.Sample(vs, rng)
 		if err != nil {
 			return prob.Dist{}, err

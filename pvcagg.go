@@ -9,10 +9,10 @@
 // downstream user needs is re-exported here:
 //
 //   - expression parsing and probability computation (ParseExpr,
-//     NewPipeline, Distribution);
+//     ExecExpr, NewPipeline);
 //   - pvc-databases and relations (NewDatabase, NewRelation, cells);
 //   - query plans (Scan, Select, Project, Join, Union, GroupAgg) and
-//     end-to-end evaluation (Run);
+//     end-to-end evaluation (Exec);
 //   - the Qind/Qhie tractability analysis (Classify);
 //   - the possible-worlds and Monte-Carlo baselines (Enumerate,
 //     MonteCarlo) for validation.
@@ -22,59 +22,66 @@
 //	reg := pvcagg.NewRegistry()
 //	reg.DeclareBool("x", 0.5)
 //	reg.DeclareBool("y", 0.5)
-//	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
 //	e := pvcagg.MustParseExpr("[min(x @min 10, y @min 20) <= 15]")
-//	d, _, _ := p.Distribution(e)
-//	fmt.Println(d) // {(0, 0.5), (1, 0.5)}
+//	res, _ := pvcagg.ExecExpr(context.Background(), e, reg, pvcagg.Boolean)
+//	fmt.Println(res.Dist) // {(0, 0.5), (1, 0.5)}
 //
-// # Parallel execution
+// # Executing queries
 //
-// The compile→evaluate pipeline is embarrassingly parallel at the tuple
-// level: every result tuple's annotation and aggregation expressions
-// compile and evaluate independently, sharing only the read-only
-// variable registry. RunParallel distributes the probability step of a
-// query over a bounded worker pool (default runtime.GOMAXPROCS(0)), and
-// when tuples are scarcer than workers the leftover parallelism moves
-// inside each tuple's compilation, fanning the branches of Shannon
-// expansions ⊔x out over a shared, mutex-striped memo table so the
-// d-tree stays a DAG across goroutines. The decomposition rules and all
-// heuristics are deterministic, so parallel runs return the same
-// probabilities as sequential ones.
+// Exec is the one entrypoint for query evaluation: it evaluates a plan,
+// then computes the probabilistic interpretation of every result tuple
+// under a strategy selected by functional options, returning one unified
+// Result whose per-tuple Confidence is always an interval (exact runs
+// yield zero-width intervals):
 //
-//	rel, results, timing, err := pvcagg.RunParallel(db, plan,
-//		pvcagg.ParallelOptions{}) // Parallelism: 0 ⇒ GOMAXPROCS
+//	res, err := pvcagg.Exec(ctx, db, plan)           // adaptive (Auto)
+//	outs, err := res.Collect()                       // all tuples, in order
 //
-// A single hard expression can likewise be compiled in parallel:
+// Three strategies cover the paper's whole difficulty spectrum, plus the
+// adaptive default:
 //
-//	p := pvcagg.NewPipeline(pvcagg.Boolean, reg)
-//	d, rep, err := p.DistributionParallel(e, 8) // at most 8 goroutines
+//   - WithMode(Exact): full d-tree compilation (Section 5), exponential
+//     on hard queries; bound it with WithCompileBudget. The probability
+//     step is distributed over a bounded worker pool (WithParallelism,
+//     default GOMAXPROCS); when tuples are scarcer than workers the
+//     leftover parallelism moves inside each tuple's compilation,
+//     fanning Shannon branches over a shared memo table. All heuristics
+//     are deterministic, so results are bit-for-bit identical at every
+//     parallelism.
+//   - WithMode(Anytime): guaranteed confidence bounds of width ≤ ε
+//     (WithEps, default DefaultEps) by priority-driven partial
+//     expansion; aggregation-column distributions stay exact. Budgets
+//     (WithApprox) return sound, unconverged bounds on exhaustion.
+//   - WithMode(Sample): explicitly-seeded Monte Carlo estimation
+//     (WithSeed, required; WithSamples) with 95% Hoeffding intervals —
+//     the baseline strategy.
+//   - WithMode(Auto), the default: the Section 6 tractability analysis
+//     (Classify) routes each plan — tractable plans (Qind/Qhie) run
+//     exactly, hard plans run on the anytime engine — and the verdict is
+//     recorded in Result.Strategy.
 //
-// # Approximate computation
+// Execution is context-aware end to end: every compilation polls ctx at
+// expansion steps, so cancelling the context (or WithTimeout) aborts even
+// a runaway Shannon expansion promptly:
 //
-// Queries outside the tractable classes Qind/Qhie pay full Shannon
-// expansion, which is exponential in the worst case. The anytime
-// approximation engine makes such queries answerable with guarantees:
-// instead of compiling a complete d-tree, it expands the decomposition
-// incrementally, every uncompiled sub-expression contributing interval
-// bounds [lo, hi] on its truth probability to its parent. A
-// priority-driven frontier always expands the leaf contributing most to
-// the root's bound width, and expansion stops as soon as the interval is
-// within a user-given ε (or a node/time budget runs out). The returned
-// interval always contains the exact probability, converged or not; ε = 0
-// reproduces the exact value bit-for-bit through the exact pipeline.
+//	ctx, cancel := context.WithCancel(context.Background())
+//	res, err := pvcagg.Exec(ctx, db, plan, pvcagg.WithMode(pvcagg.Exact))
+//	// cancel() from another goroutine → Collect returns ctx.Err()
 //
-//	b, rep, err := pvcagg.Approximate(e, reg, pvcagg.Boolean,
-//		pvcagg.ApproxOptions{Eps: 0.01})
-//	// b.Lo ≤ P[e ≠ 0] ≤ b.Hi and b.Hi − b.Lo ≤ 0.01 when rep.Converged
+// Large workloads can consume tuples as workers finish instead of after a
+// barrier, via the streaming iterator:
 //
-// Whole queries run end-to-end with per-tuple ε, the tuples fanned out
-// over the same worker pool as RunParallel; aggregation-column
-// distributions stay exact (the hardness of selections on aggregates
-// lives in the annotations, which is what the anytime engine brackets):
+//	for out, err := range res.Results() {
+//		// out.Index identifies the tuple; completion order
+//	}
 //
-//	rel, results, timing, err := pvcagg.RunApprox(db, plan,
-//		pvcagg.ApproxOptions{Eps: 0.05}, pvcagg.ParallelOptions{})
-//	// results[i].Confidence is a Bounds of width ≤ 0.05
+// Bare expressions run through ExecExpr and already-evaluated pvc-tables
+// through ExecTable, with the same options.
+//
+// The pre-Exec entry points (Run, RunWithOptions, RunParallel,
+// RunParallelWithOptions, RunApprox, ProbabilitiesParallel,
+// ProbabilitiesApprox, Approximate) remain as deprecated wrappers that
+// delegate to Exec; see the README for the migration table.
 package pvcagg
 
 import (
@@ -262,41 +269,7 @@ var (
 	ColThetaCol = engine.ColThetaCol
 )
 
-// Run evaluates a plan on a database and computes the probability of every
-// result tuple.
-func Run(db *Database, plan Plan) (*Relation, []TupleResult, RunTiming, error) {
-	return engine.Run(db, plan, compile.Options{})
-}
-
-// RunWithOptions is Run with explicit compilation options.
-func RunWithOptions(db *Database, plan Plan, opts CompileOptions) (*Relation, []TupleResult, RunTiming, error) {
-	return engine.Run(db, plan, opts)
-}
-
-// ParallelOptions configure batched parallel probability computation
-// (see the "Parallel execution" package-doc section).
-type ParallelOptions = engine.ParallelOptions
-
-// RunParallel is Run with the probability step distributed over a
-// bounded worker pool. Results are identical to Run's; failing tuples
-// are all reported, joined into one error.
-func RunParallel(db *Database, plan Plan, par ParallelOptions) (*Relation, []TupleResult, RunTiming, error) {
-	return engine.RunParallel(db, plan, compile.Options{}, par)
-}
-
-// RunParallelWithOptions is RunParallel with explicit compilation
-// options.
-func RunParallelWithOptions(db *Database, plan Plan, opts CompileOptions, par ParallelOptions) (*Relation, []TupleResult, RunTiming, error) {
-	return engine.RunParallel(db, plan, opts, par)
-}
-
-// ProbabilitiesParallel computes the probability of every tuple of an
-// already-evaluated pvc-table with the given parallelism.
-func ProbabilitiesParallel(db *Database, rel *Relation, opts CompileOptions, par ParallelOptions) ([]TupleResult, error) {
-	return engine.ProbabilitiesParallel(db, rel, opts, par)
-}
-
-// Anytime approximation (see the "Approximate computation" package-doc
+// Anytime approximation (see the "Executing queries" package-doc
 // section).
 type (
 	// Bounds is an interval [Lo, Hi] guaranteed to contain the exact
@@ -311,27 +284,6 @@ type (
 	// ApproxTupleResult brackets one result tuple's confidence.
 	ApproxTupleResult = engine.ApproxTupleResult
 )
-
-// Approximate computes guaranteed bounds on the probability that the
-// semiring expression e is non-zero, by anytime partial d-tree expansion.
-// The returned interval always contains the exact probability; its width
-// is at most opts.Eps when the report's Converged flag is set.
-func Approximate(e Expr, reg *Registry, kind SemiringKind, opts ApproxOptions) (Bounds, ApproxReport, error) {
-	return compile.Approximate(algebra.SemiringFor(kind), reg, e, opts)
-}
-
-// RunApprox evaluates a plan and brackets every result tuple's confidence
-// within opts.Eps (budgets permitting), distributing tuples over a bounded
-// worker pool. Aggregation-column distributions are computed exactly.
-func RunApprox(db *Database, plan Plan, opts ApproxOptions, par ParallelOptions) (*Relation, []ApproxTupleResult, RunTiming, error) {
-	return engine.RunApprox(db, plan, opts, par)
-}
-
-// ProbabilitiesApprox brackets the confidence of every tuple of an
-// already-evaluated pvc-table within opts.Eps.
-func ProbabilitiesApprox(db *Database, rel *Relation, opts ApproxOptions, par ParallelOptions) ([]ApproxTupleResult, error) {
-	return engine.ProbabilitiesApprox(db, rel, opts, par)
-}
 
 // Tractability analysis (Section 6).
 type (
