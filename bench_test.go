@@ -473,6 +473,33 @@ func BenchmarkAblationNoFactoring(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedCache: the cross-tuple compilation cache (WithSharedCache)
+// on a pvc-table whose tuples share their selection comparison — the
+// workload the cache exists for. The paired off/on runs report the
+// ablation directly.
+func BenchmarkSharedCache(b *testing.B) {
+	db, rel := sharedAnnotationTable(b, 64)
+	for _, cached := range []bool{false, true} {
+		name := "cache=off"
+		if cached {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := pvcagg.ExecTable(context.Background(), db, rel,
+					pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1), pvcagg.WithSharedCache(cached))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func thName(th value.Theta) string {
 	switch th {
 	case value.EQ:
@@ -544,6 +571,7 @@ func execBenchCases(sf float64) ([]execBenchCase, error) {
 		{"exact/seq", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))},
 		{"exact/par", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(0))},
 		{"exact/stream", stream(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(0))},
+		{"exact/seq+cache", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1), pvcagg.WithSharedCache(true))},
 		{"anytime/0.05", run(pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithEps(0.05))},
 		{"auto", run(pvcagg.WithEps(0.05))},
 		{"sample/10k", run(pvcagg.WithMode(pvcagg.Sample), pvcagg.WithSeed(1))},
@@ -577,9 +605,11 @@ func TestEmitBenchJSON(t *testing.T) {
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
 		records = append(records, benchx.BenchRecord{
-			Name:    "Exec/" + c.name,
-			N:       r.N,
-			NsPerOp: float64(r.NsPerOp()),
+			Name:        "Exec/" + c.name,
+			N:           r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
 	if err := benchx.WriteBenchJSON(*benchJSONPath, records); err != nil {

@@ -119,6 +119,7 @@ type execConfig struct {
 	samples    int
 	samplesSet bool
 	failFast   bool
+	shared     bool
 }
 
 // failFastOpt restores the legacy sequential error contract (stop at the
@@ -193,6 +194,31 @@ func WithSeed(seed int64) Option {
 // DefaultSamples). Only meaningful with Sample.
 func WithSamples(n int) Option {
 	return func(c *execConfig) { c.samples, c.samplesSet = n, true }
+}
+
+// WithSharedCache enables (or, for ablation, explicitly disables) the
+// cross-tuple compilation cache: one bounded, shard-striped cache of
+// compiled d-tree nodes and their distributions, keyed by structural
+// expression hash and shared by every worker of the execution, so
+// sub-expressions repeated across a table's tuples compile and evaluate
+// once. The cache is scoped to the execution, never shared across Exec
+// calls.
+//
+// Under the exact strategy, probabilities and distributions are
+// bit-for-bit identical with the cache on or off at any parallelism
+// (cached nodes are structurally identical, so they evaluate to the same
+// distributions). What the cache does change is accounting and budgets:
+// per-tuple cost reports (TupleReport.Exact) count only the work a tuple
+// did itself, and compile node budgets (WithCompileBudget, the anytime
+// engine's leaf budgets) count only uncached nodes — so with
+// Parallelism > 1, which tuples hit the cache depends on scheduling,
+// making per-tuple reports, budget-abort points and anytime bound widths
+// (still always sound) run-to-run nondeterministic. Use Parallelism(1)
+// with the cache for reproducible reports and anytime bounds. This is
+// why the cache defaults to off; the run-level picture lives in
+// Result.Report.SharedCache.
+func WithSharedCache(enabled bool) Option {
+	return func(c *execConfig) { c.shared = enabled }
 }
 
 // resolveOptions applies the options and validates their combination,
@@ -341,15 +367,24 @@ func (s Strategy) String() string {
 	}
 }
 
-// build resolves the engine configuration for the chosen strategy.
-func (c *execConfig) build(chosen Mode, verdict *Verdict) (Strategy, engine.ExecConfig) {
+// build resolves the engine configuration for the chosen strategy. When
+// WithSharedCache is on, a fresh cross-tuple cache scoped to this
+// execution is threaded into the compile options of every strategy (the
+// sampling strategy still compiles aggregation columns exactly).
+func (c *execConfig) build(chosen Mode, verdict *Verdict) (Strategy, engine.ExecConfig, *compile.SharedCache) {
 	strat := Strategy{Requested: c.mode, Chosen: chosen, Verdict: verdict, Parallelism: c.par}
-	ecfg := engine.ExecConfig{Compile: c.compile, Parallelism: c.par, OnBounds: c.onBounds, FailFast: c.failFast}
+	var cache *compile.SharedCache
+	co := c.compile
+	if c.shared {
+		cache = compile.NewSharedCache(0)
+		co.Shared = cache
+	}
+	ecfg := engine.ExecConfig{Compile: co, Parallelism: c.par, OnBounds: c.onBounds, FailFast: c.failFast}
 	switch chosen {
 	case Anytime:
 		a := c.approx
 		a.Eps = c.effEps()
-		a.Compile = c.compile
+		a.Compile = co
 		if c.onBounds != nil {
 			a.OnBounds = c.onBounds
 		}
@@ -361,12 +396,25 @@ func (c *execConfig) build(chosen Mode, verdict *Verdict) (Strategy, engine.Exec
 		strat.Samples = c.samples
 		strat.Seed = c.seed
 	}
-	return strat, ecfg
+	return strat, ecfg, cache
 }
 
 // ErrConsumed is returned when a Result's streaming iterator has already
 // been consumed; run Exec again to iterate anew.
 var ErrConsumed = errors.New("pvcagg: Result stream already consumed")
+
+// ExecReport aggregates run-level execution statistics that have no
+// per-tuple home.
+type ExecReport struct {
+	// SharedCache reports the cross-tuple compilation cache
+	// (WithSharedCache): compiler node hits/misses and evaluator
+	// distribution hits/misses. All zeros when the cache is disabled.
+	SharedCache CacheStats
+}
+
+// CacheStats is a snapshot of the cross-tuple cache counters; see
+// compile.CacheStats.
+type CacheStats = compile.CacheStats
 
 // Result is one execution handed back by Exec or ExecTable: the evaluated
 // result pvc-table (step I, already done) and the probability computation
@@ -382,9 +430,13 @@ type Result struct {
 	// (Probability, populated once Collect returns or the stream is
 	// consumed).
 	Timing RunTiming
+	// Report carries run-level statistics, populated once Collect returns
+	// or the stream is consumed.
+	Report ExecReport
 
 	db     *Database
 	cfg    engine.ExecConfig
+	cache  *compile.SharedCache
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -405,6 +457,9 @@ func (r *Result) Len() int { return r.Rel.Len() }
 func (r *Result) Close() { r.finish() }
 
 func (r *Result) finish() {
+	if r.cache != nil {
+		r.Report.SharedCache = r.cache.Stats()
+	}
 	if r.cancel != nil {
 		r.cancel()
 		r.cancel = nil
@@ -488,7 +543,7 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 			chosen = Exact
 		}
 	}
-	strat, ecfg := cfg.build(chosen, verdict)
+	strat, ecfg, cache := cfg.build(chosen, verdict)
 	var cancel context.CancelFunc
 	if cfg.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
@@ -506,6 +561,7 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 		Timing:   RunTiming{Construct: construct},
 		db:       db,
 		cfg:      ecfg,
+		cache:    cache,
 		ctx:      ctx,
 		cancel:   cancel,
 	}, nil
@@ -524,7 +580,7 @@ func ExecTable(ctx context.Context, db *Database, rel *Relation, opts ...Option)
 	if chosen == Auto {
 		chosen = Anytime
 	}
-	strat, ecfg := cfg.build(chosen, nil)
+	strat, ecfg, cache := cfg.build(chosen, nil)
 	var cancel context.CancelFunc
 	if cfg.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
@@ -534,6 +590,7 @@ func ExecTable(ctx context.Context, db *Database, rel *Relation, opts ...Option)
 		Strategy: strat,
 		db:       db,
 		cfg:      ecfg,
+		cache:    cache,
 		ctx:      ctx,
 		cancel:   cancel,
 	}, nil
@@ -557,6 +614,10 @@ type ExprResult struct {
 	Report Report
 	// Approx describes the anytime computation (anytime strategy).
 	Approx *ApproxReport
+	// SharedCache reports the WithSharedCache compilation cache of this
+	// execution (all zeros when disabled). Under Auto, the counters are
+	// those of the attempt that produced the result.
+	SharedCache CacheStats
 }
 
 // ExecExpr computes the probabilistic interpretation of a bare semiring
@@ -578,19 +639,19 @@ func ExecExpr(ctx context.Context, e Expr, reg *Registry, kind SemiringKind, opt
 	semiring := e.Kind() == KindSemiring
 	switch cfg.mode {
 	case Exact:
-		strat, ecfg := cfg.build(Exact, nil)
+		strat, ecfg, _ := cfg.build(Exact, nil)
 		return execExprExact(ctx, e, reg, kind, ecfg, strat)
 	case Anytime:
 		if !semiring {
 			return nil, fmt.Errorf("pvcagg: the anytime engine brackets truth probabilities and %s is a semimodule expression; use Exact", ExprString(e))
 		}
-		strat, ecfg := cfg.build(Anytime, nil)
+		strat, ecfg, _ := cfg.build(Anytime, nil)
 		return execExprAnytime(ctx, e, reg, kind, ecfg, strat)
 	case Sample:
-		strat, ecfg := cfg.build(Sample, nil)
+		strat, ecfg, _ := cfg.build(Sample, nil)
 		return execExprSample(ctx, e, reg, kind, ecfg, strat)
 	default: // Auto
-		strat, ecfg := cfg.build(Exact, nil)
+		strat, ecfg, _ := cfg.build(Exact, nil)
 		if ecfg.Compile.MaxNodes == 0 {
 			ecfg.Compile.MaxNodes = autoExprBudget
 		}
@@ -598,7 +659,7 @@ func ExecExpr(ctx context.Context, e Expr, reg *Registry, kind SemiringKind, opt
 		if err == nil || !semiring || !errors.Is(err, compile.ErrNodeBudget) {
 			return res, err
 		}
-		strat, ecfg = cfg.build(Anytime, nil)
+		strat, ecfg, _ = cfg.build(Anytime, nil)
 		return execExprAnytime(ctx, e, reg, kind, ecfg, strat)
 	}
 }
@@ -621,7 +682,7 @@ func execExprExact(ctx context.Context, e Expr, reg *Registry, kind SemiringKind
 	if err != nil {
 		return nil, err
 	}
-	res := &ExprResult{Dist: d, Strategy: strat, Report: rep}
+	res := &ExprResult{Dist: d, Strategy: strat, Report: rep, SharedCache: ecfg.Compile.Shared.Stats()}
 	if e.Kind() == KindSemiring {
 		res.Confidence = compile.Point(d.TruthProbability())
 	}
@@ -636,7 +697,7 @@ func execExprAnytime(ctx context.Context, e Expr, reg *Registry, kind SemiringKi
 	if err != nil {
 		return nil, err
 	}
-	return &ExprResult{Confidence: b, Strategy: strat, Approx: &rep}, nil
+	return &ExprResult{Confidence: b, Strategy: strat, Approx: &rep, SharedCache: ecfg.Approx.Compile.Shared.Stats()}, nil
 }
 
 func execExprSample(ctx context.Context, e Expr, reg *Registry, kind SemiringKind, ecfg engine.ExecConfig, strat Strategy) (*ExprResult, error) {

@@ -177,7 +177,7 @@ func ApproximateCtx(ctx context.Context, s algebra.Semiring, reg *vars.Registry,
 		}
 		return b, rep, nil
 	}
-	ax := &approximator{s: s, reg: reg, opts: opts, ctx: ctx, memo: map[string]closure{}, tier: opts.leafBudget()}
+	ax := &approximator{s: s, reg: reg, opts: opts, ctx: ctx, memo: map[uint64][]closureEntry{}, tier: opts.leafBudget()}
 	root, err := ax.classify(expr.Simplify(e, s))
 	if err != nil {
 		return Bounds{}, ApproxReport{}, err
@@ -207,7 +207,7 @@ func exactTruth(ctx context.Context, s algebra.Semiring, reg *vars.Registry, e e
 		// them so ApproxReport and MaxNodes account for failed closures.
 		return Bounds{}, res.Stats.Nodes, err
 	}
-	d, _, err := dtree.Evaluate(res.Root, dtree.Env{Semiring: s, Registry: reg})
+	d, _, err := dtree.EvaluateShared(res.Root, dtree.Env{Semiring: s, Registry: reg}, opts.Shared.EvalCache())
 	if err != nil {
 		return Bounds{}, res.Stats.Nodes, err
 	}
@@ -378,11 +378,38 @@ type approximator struct {
 	initWidth    float64 // root width before any expansion
 	lastWidth    float64
 	sinceImprove int
-	// memo caches exact-closure outcomes per canonical sub-expression:
+	// memo caches exact-closure outcomes per structural sub-expression
+	// (keyed by cached hash, collisions resolved by structural equality):
 	// identical residuals recur massively under Shannon expansion (the
 	// reason the exact compiler memoises), so a sub-problem closed — or
 	// proven too hard for a budget tier — once is never re-attempted.
-	memo map[string]closure
+	memo map[uint64][]closureEntry
+}
+
+// closureEntry resolves hash collisions in the closure memo.
+type closureEntry struct {
+	e expr.Expr
+	c closure
+}
+
+func (ax *approximator) memoGet(h uint64, e expr.Expr) (closure, bool) {
+	for _, ent := range ax.memo[h] {
+		if expr.Equal(ent.e, e) {
+			return ent.c, true
+		}
+	}
+	return closure{}, false
+}
+
+func (ax *approximator) memoSet(h uint64, e expr.Expr, c closure) {
+	bucket := ax.memo[h]
+	for i, ent := range bucket {
+		if expr.Equal(ent.e, e) {
+			bucket[i].c = c
+			return
+		}
+	}
+	ax.memo[h] = append(bucket, closureEntry{e, c})
 }
 
 // closure is the memoised outcome of exact-closure attempts on one
@@ -439,12 +466,11 @@ func (ax *approximator) classify(e expr.Expr) (*anode, error) {
 	// compiler brings the full arsenal — pruning, interval decision
 	// (prune.go's bounds/decide), factoring, memoisation — so decidable
 	// comparisons and tractable residuals resolve here at tiny cost.
-	key := expr.String(e)
 	probe := cheapBudget
 	if probe > ax.tier {
 		probe = ax.tier
 	}
-	p, closed, err := ax.close(key, e, probe)
+	p, closed, err := ax.close(e, probe)
 	if err != nil {
 		return nil, err
 	}
@@ -456,7 +482,7 @@ func (ax *approximator) classify(e expr.Expr) (*anode, error) {
 	// substitution, memo key and Shannon expansion of this leaf.
 	if cm, ok := e.(expr.Cmp); ok && !ax.opts.Compile.DisablePruning {
 		pruned, _ := pruneCmp(ax.s, ax.reg, cm)
-		if s := expr.Simplify(pruned, ax.s); expr.String(s) != key {
+		if s := expr.Simplify(pruned, ax.s); !expr.Equal(s, e) {
 			return ax.classify(s)
 		}
 	}
@@ -533,8 +559,9 @@ func (ax *approximator) escalationWorthwhile(leaf *anode) bool {
 // consulting and updating the memo. It reports the truth probability and
 // whether the closure succeeded; budget-exceeded failures are memoised per
 // tier so no budget is attempted twice for the same expression.
-func (ax *approximator) close(key string, e expr.Expr, budget int) (float64, bool, error) {
-	if m, ok := ax.memo[key]; ok {
+func (ax *approximator) close(e expr.Expr, budget int) (float64, bool, error) {
+	h := expr.Hash(e)
+	if m, ok := ax.memoGet(h, e); ok {
 		if m.resolved {
 			return m.p, true, nil
 		}
@@ -560,14 +587,14 @@ func (ax *approximator) close(key string, e expr.Expr, budget int) (float64, boo
 	if err == nil {
 		ax.rep.ExactNodes += nodes
 		ax.rep.ExactLeaves++
-		ax.memo[key] = closure{resolved: true, p: b.Lo}
+		ax.memoSet(h, e, closure{resolved: true, p: b.Lo})
 		return b.Lo, true, nil
 	}
 	ax.rep.WastedNodes += nodes
 	if !errors.Is(err, ErrNodeBudget) {
 		return 0, false, err
 	}
-	ax.memo[key] = closure{failedAt: budget}
+	ax.memoSet(h, e, closure{failedAt: budget})
 	return 0, false, nil
 }
 
@@ -662,7 +689,7 @@ func (ax *approximator) expand(leaf *anode) error {
 		budget = ax.tier
 	}
 	before := ax.rep.WastedNodes
-	p, closed, err := ax.close(expr.String(leaf.e), leaf.e, budget)
+	p, closed, err := ax.close(leaf.e, budget)
 	if err != nil {
 		return err
 	}
@@ -683,7 +710,7 @@ func (ax *approximator) expand(leaf *anode) error {
 		return nil
 	}
 	x := chooseVariable(leaf.e, ax.opts.Compile.Order)
-	d, err := ax.reg.Dist(x)
+	d, err := ax.reg.DistByID(x)
 	if err != nil {
 		return err
 	}
@@ -691,7 +718,7 @@ func (ax *approximator) expand(leaf *anode) error {
 	children := make([]*anode, 0, d.Size())
 	weights := make([]float64, 0, d.Size())
 	for _, pair := range d.Pairs() {
-		sub := expr.Simplify(expr.Subst(leaf.e, x, pair.V), ax.s)
+		sub := expr.Simplify(expr.SubstID(leaf.e, x, pair.V), ax.s)
 		c, err := ax.classify(sub)
 		if err != nil {
 			return err

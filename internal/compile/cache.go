@@ -1,0 +1,135 @@
+package compile
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pvcagg/internal/dtree"
+	"pvcagg/internal/expr"
+)
+
+// SharedCache is a bounded, shard-striped cache of compiled d-tree nodes
+// keyed by the structural hash (and equality) of the source
+// sub-expression, plus a companion distribution cache for the evaluator
+// (dtree.DistCache). One cache is shared by every compiler of one
+// execution — the engine's worker pools hand the same cache to all
+// workers — so a sub-expression repeated across the tuples of a
+// pvc-table compiles (and its shared d-tree nodes evaluate) once.
+//
+// A SharedCache is only coherent for compilations over one registry with
+// one set of options; the engine creates one per execution. When the
+// entry bound is reached, new entries are simply not inserted — the cache
+// degrades to the per-compiler memo, it never evicts nodes other
+// compilations may be sharing.
+//
+// All methods are safe for concurrent use; nodes are immutable once
+// compiled, so sharing them across goroutines is free.
+type SharedCache struct {
+	maxEntries int64
+	entries    atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	shards     [cacheShards]cacheShard
+	dists      *dtree.DistCache
+}
+
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]memoEntry
+}
+
+// DefaultSharedCacheEntries bounds a SharedCache built with
+// NewSharedCache(0): 256k nodes plus as many cached distributions.
+const DefaultSharedCacheEntries = 1 << 18
+
+// NewSharedCache returns an empty cache bounded to maxEntries compiled
+// nodes (and as many evaluator distributions); maxEntries <= 0 selects
+// DefaultSharedCacheEntries.
+func NewSharedCache(maxEntries int) *SharedCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultSharedCacheEntries
+	}
+	c := &SharedCache{maxEntries: int64(maxEntries), dists: dtree.NewDistCache(maxEntries)}
+	for i := range c.shards {
+		c.shards[i].m = map[uint64][]memoEntry{}
+	}
+	return c
+}
+
+// EvalCache returns the companion evaluator distribution cache (nil on a
+// nil SharedCache, which dtree.EvaluateShared treats as "no cache").
+func (c *SharedCache) EvalCache() *dtree.DistCache {
+	if c == nil {
+		return nil
+	}
+	return c.dists
+}
+
+func (c *SharedCache) lookup(h uint64, e expr.Expr) (dtree.Node, bool) {
+	sh := &c.shards[h%cacheShards]
+	sh.mu.RLock()
+	n, ok := findEntry(sh.m[h], e)
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return n, ok
+}
+
+// insert stores n for e unless another compilation got there first, and
+// returns the winning node so concurrent compilers converge on one shared
+// sub-tree. A full cache returns n unstored.
+func (c *SharedCache) insert(h uint64, e expr.Expr, n dtree.Node) dtree.Node {
+	if c.entries.Load() >= c.maxEntries {
+		return n
+	}
+	sh := &c.shards[h%cacheShards]
+	sh.mu.Lock()
+	if prev, ok := findEntry(sh.m[h], e); ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	sh.m[h] = append(sh.m[h], memoEntry{e, n})
+	sh.mu.Unlock()
+	c.entries.Add(1)
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of SharedCache counters. Hits
+// and Misses count compiler memo consultations; DistHits and DistMisses
+// count the evaluator's distribution cache.
+type CacheStats struct {
+	Hits, Misses         int64
+	Entries              int64
+	DistHits, DistMisses int64
+	DistEntries          int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters. Safe on a nil cache (all zeros).
+func (c *SharedCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	dh, dm, de := c.dists.Stats()
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Entries:     c.entries.Load(),
+		DistHits:    dh,
+		DistMisses:  dm,
+		DistEntries: de,
+	}
+}

@@ -13,15 +13,19 @@
 //  6. otherwise a variable is eliminated by Shannon (mutex) expansion ⊔x,
 //     choosing by default the variable with most occurrences.
 //
-// Compilation is memoised on the canonical rendering of sub-expressions,
-// so repeated sub-problems (ubiquitous under Shannon expansion) compile
-// once and the resulting d-tree is a DAG.
+// Compilation is memoised on the cached structural hash of
+// sub-expressions (with structural equality resolving collisions), so
+// repeated sub-problems (ubiquitous under Shannon expansion) compile once
+// and the resulting d-tree is a DAG. An optional SharedCache extends the
+// memoisation across compiler instances — the cross-tuple cache of the
+// engine's worker pools.
 package compile
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/dtree"
@@ -61,6 +65,13 @@ type Options struct {
 	// exponential in the worst case (Section 5); the bound turns runaway
 	// compilations into errors.
 	MaxNodes int
+	// Shared, when non-nil, is a cross-compiler cache of compiled d-tree
+	// nodes consulted (and filled) alongside the per-compiler memo table,
+	// so structurally equal sub-expressions met by different compilations
+	// — e.g. the tuples of one pvc-table — compile once. Nodes served
+	// from the cache are not re-created, so Stats.Nodes reflects the work
+	// actually done, not the DAG size.
+	Shared *SharedCache
 }
 
 // Stats reports how an expression was compiled.
@@ -72,7 +83,8 @@ type Stats struct {
 	Factorings    int // read-once common-variable factorings
 	Shannon       int // ⊔x expansions
 	PrunedTerms   int // semimodule terms removed by pruning rules
-	CacheHits     int
+	CacheHits     int // memo hits, including shared-cache hits
+	SharedHits    int // hits served by Options.Shared
 	Nodes         int // d-tree nodes created
 }
 
@@ -88,14 +100,67 @@ type Compiler struct {
 	s    algebra.Semiring
 	reg  *vars.Registry
 	opts Options
-	memo map[string]dtree.Node
+	memo exprMemo
 	ctx  context.Context
 	st   Stats
 }
 
+// memoEntry pairs a memoised expression with its compiled node; the
+// expression is kept to resolve structural-hash collisions by Equal.
+type memoEntry struct {
+	e expr.Expr
+	n dtree.Node
+}
+
+// exprMemo is a hash-keyed memo with a two-level layout: the primary map
+// stores one entry per hash inline (no per-entry slice allocation — the
+// overwhelmingly common case), and the rare colliding entries overflow
+// into a lazily-allocated bucket map.
+type exprMemo struct {
+	prim map[uint64]memoEntry
+	over map[uint64][]memoEntry
+}
+
+func newExprMemo() exprMemo {
+	return exprMemo{prim: map[uint64]memoEntry{}}
+}
+
+// findEntry scans a hash bucket for a structurally equal expression; it
+// is the one collision-resolution routine shared by the per-compiler
+// memo, the parallel sharded memo and the cross-tuple SharedCache.
+func findEntry(bucket []memoEntry, e expr.Expr) (dtree.Node, bool) {
+	for _, ent := range bucket {
+		if expr.Equal(ent.e, e) {
+			return ent.n, true
+		}
+	}
+	return nil, false
+}
+
+func (m *exprMemo) get(h uint64, e expr.Expr) (dtree.Node, bool) {
+	if ent, ok := m.prim[h]; ok {
+		if expr.Equal(ent.e, e) {
+			return ent.n, true
+		}
+		return findEntry(m.over[h], e)
+	}
+	return nil, false
+}
+
+func (m *exprMemo) put(h uint64, e expr.Expr, n dtree.Node) {
+	if _, ok := m.prim[h]; !ok {
+		m.prim[h] = memoEntry{e, n}
+		return
+	}
+	if m.over == nil {
+		m.over = map[uint64][]memoEntry{}
+	}
+	m.over[h] = append(m.over[h], memoEntry{e, n})
+}
+
 // New returns a Compiler for the given semiring and registry.
 func New(s algebra.Semiring, reg *vars.Registry, opts Options) *Compiler {
-	return &Compiler{s: s, reg: reg, opts: opts, memo: map[string]dtree.Node{}}
+	return &Compiler{s: s, reg: reg, opts: opts, memo: newExprMemo()}
 }
 
 // ctxCheckMask throttles cancellation polls to one per 256 nodes created:
@@ -158,22 +223,34 @@ func (c *Compiler) compile(e expr.Expr) (dtree.Node, error) {
 		return c.newNode(&dtree.ConstLeaf{V: v, Module: e.Kind() == expr.KindModule})
 	}
 	if v, ok := e.(expr.Var); ok {
-		return c.newNode(&dtree.VarLeaf{Name: v.Name})
+		return c.newNode(&dtree.VarLeaf{Name: v.Name, ID: v.ID()})
 	}
-	key := ""
-	if !c.opts.DisableMemo {
-		key = expr.String(e)
-		if n, ok := c.memo[key]; ok {
+	var h uint64
+	memoised := !c.opts.DisableMemo
+	if memoised {
+		h = expr.Hash(e)
+		if n, ok := c.memo.get(h, e); ok {
 			c.st.CacheHits++
 			return n, nil
+		}
+		if sc := c.opts.Shared; sc != nil {
+			if n, ok := sc.lookup(h, e); ok {
+				c.st.CacheHits++
+				c.st.SharedHits++
+				c.memo.put(h, e, n)
+				return n, nil
+			}
 		}
 	}
 	n, err := c.compileUncached(e)
 	if err != nil {
 		return nil, err
 	}
-	if key != "" {
-		c.memo[key] = n
+	if memoised {
+		if sc := c.opts.Shared; sc != nil {
+			n = sc.insert(h, e, n)
+		}
+		c.memo.put(h, e, n)
 	}
 	return n, nil
 }
@@ -271,7 +348,7 @@ func (c *Compiler) tryFactorSum(terms []expr.Expr, module bool, agg algebra.Agg)
 		// x must vanish entirely, or the two sides would share it.
 		shared := false
 		for _, r := range residuals {
-			if _, found := expr.VarCounts(r)[x]; found {
+			if expr.HasVarID(r, x) {
 				shared = true
 				break
 			}
@@ -290,7 +367,7 @@ func (c *Compiler) tryFactorSum(terms []expr.Expr, module bool, agg algebra.Agg)
 		if err != nil {
 			return nil, false, err
 		}
-		xNode, err := c.compile(expr.V(x))
+		xNode, err := c.compile(expr.VFromID(x))
 		if err != nil {
 			return nil, false, err
 		}
@@ -310,8 +387,9 @@ func (c *Compiler) tryFactorSum(terms []expr.Expr, module bool, agg algebra.Agg)
 
 // factorVariables lists the variables available for factoring out of a
 // term: the top-level Var/Mul factors of a semiring term, or of the scalar
-// of a semimodule tensor term.
-func factorVariables(t expr.Expr, module bool) []string {
+// of a semimodule tensor term. Candidates are ordered by name, matching
+// the deterministic choice of the original string-keyed implementation.
+func factorVariables(t expr.Expr, module bool) []expr.VarID {
 	if module {
 		tensor, ok := t.(expr.Tensor)
 		if !ok {
@@ -321,19 +399,25 @@ func factorVariables(t expr.Expr, module bool) []string {
 	}
 	switch n := t.(type) {
 	case expr.Var:
-		return []string{n.Name}
+		return []expr.VarID{n.ID()}
 	case expr.Mul:
-		var out []string
-		seen := map[string]struct{}{}
+		var out []expr.VarID
 		for _, f := range n.Factors {
 			if v, ok := f.(expr.Var); ok {
-				if _, dup := seen[v.Name]; !dup {
-					seen[v.Name] = struct{}{}
-					out = append(out, v.Name)
+				id := v.ID()
+				dup := false
+				for _, seen := range out {
+					if seen == id {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out = append(out, id)
 				}
 			}
 		}
-		sort.Strings(out)
+		sort.Slice(out, func(i, j int) bool { return expr.VarName(out[i]) < expr.VarName(out[j]) })
 		return out
 	default:
 		return nil
@@ -343,7 +427,7 @@ func factorVariables(t expr.Expr, module bool) []string {
 // removeFactor divides term t by variable x, removing exactly one
 // occurrence of x as a top-level factor. It reports whether the division
 // succeeded.
-func removeFactor(t expr.Expr, x string, module bool) (expr.Expr, bool) {
+func removeFactor(t expr.Expr, x expr.VarID, module bool) (expr.Expr, bool) {
 	if module {
 		tensor, ok := t.(expr.Tensor)
 		if !ok {
@@ -353,17 +437,17 @@ func removeFactor(t expr.Expr, x string, module bool) (expr.Expr, bool) {
 		if !ok {
 			return nil, false
 		}
-		return expr.Tensor{Agg: tensor.Agg, Scalar: sc, Mod: tensor.Mod}, true
+		return expr.NewTensor(tensor.Agg, sc, tensor.Mod), true
 	}
 	switch n := t.(type) {
 	case expr.Var:
-		if n.Name == x {
+		if n.ID() == x {
 			return expr.CInt(1), true
 		}
 		return nil, false
 	case expr.Mul:
 		for i, f := range n.Factors {
-			if v, ok := f.(expr.Var); ok && v.Name == x {
+			if v, ok := f.(expr.Var); ok && v.ID() == x {
 				rest := make([]expr.Expr, 0, len(n.Factors)-1)
 				rest = append(rest, n.Factors[:i]...)
 				rest = append(rest, n.Factors[i+1:]...)
@@ -470,58 +554,74 @@ func (c *Compiler) compileCmp(cm expr.Cmp) (dtree.Node, error) {
 // shannon applies rule 5/6: mutex expansion ⊔x of the chosen variable.
 func (c *Compiler) shannon(e expr.Expr) (dtree.Node, error) {
 	x := c.chooseVariable(e)
-	d, err := c.reg.Dist(x)
+	d, err := c.reg.DistByID(x)
 	if err != nil {
 		return nil, err
 	}
 	c.st.Shannon++
 	branches := make([]dtree.Branch, 0, d.Size())
 	for _, pair := range d.Pairs() {
-		sub := expr.Simplify(expr.Subst(e, x, pair.V), c.s)
+		sub := expr.Simplify(expr.SubstID(e, x, pair.V), c.s)
 		child, err := c.compile(sub)
 		if err != nil {
 			return nil, err
 		}
 		branches = append(branches, dtree.Branch{Val: pair.V, P: pair.P, Child: child})
 	}
-	return c.newNode(&dtree.ExclusiveNode{Var: x, Branches: branches})
+	return c.newNode(&dtree.ExclusiveNode{Var: expr.VarName(x), Branches: branches})
 }
 
 // chooseVariable applies the configured variable-order heuristic.
-func (c *Compiler) chooseVariable(e expr.Expr) string {
+func (c *Compiler) chooseVariable(e expr.Expr) expr.VarID {
 	return chooseVariable(e, c.opts.Order)
 }
 
+// varSetPool recycles the VarID-indexed occurrence sets used by the
+// variable-choice heuristic, the independence partition and the
+// disjointness tests — the hot helpers that previously allocated a
+// map[string]int per call.
+var varSetPool = sync.Pool{New: func() any { return new(expr.VarSet) }}
+
+func getVarSet() *expr.VarSet { return varSetPool.Get().(*expr.VarSet) }
+func putVarSet(s *expr.VarSet) {
+	s.Reset()
+	varSetPool.Put(s)
+}
+
 // chooseVariable picks the Shannon-expansion variable of e under the
-// given heuristic. It is deterministic, so sequential and parallel
-// compilation expand the same variables in the same places.
-func chooseVariable(e expr.Expr, order VarOrder) string {
-	counts := expr.VarCounts(e)
-	names := make([]string, 0, len(counts))
-	for x := range counts {
-		names = append(names, x)
-	}
-	sort.Strings(names)
+// given heuristic. It is deterministic — ties break on the
+// lexicographically smallest name, exactly as the original sorted-name
+// implementation did — so sequential and parallel compilation expand the
+// same variables in the same places.
+func chooseVariable(e expr.Expr, order VarOrder) expr.VarID {
+	vs := getVarSet()
+	defer putVarSet(vs)
+	expr.CollectVarsInto(e, vs)
+	ids := vs.Touched()
+	best := ids[0]
 	switch order {
 	case Lexicographic:
-		return names[0]
+		for _, x := range ids[1:] {
+			if expr.VarName(x) < expr.VarName(best) {
+				best = x
+			}
+		}
 	case LeastOccurrences:
-		best := names[0]
-		for _, x := range names[1:] {
-			if counts[x] < counts[best] {
+		for _, x := range ids[1:] {
+			cx, cb := vs.Count(x), vs.Count(best)
+			if cx < cb || (cx == cb && expr.VarName(x) < expr.VarName(best)) {
 				best = x
 			}
 		}
-		return best
 	default: // MostOccurrences
-		best := names[0]
-		for _, x := range names[1:] {
-			if counts[x] > counts[best] {
+		for _, x := range ids[1:] {
+			cx, cb := vs.Count(x), vs.Count(best)
+			if cx > cb || (cx == cb && expr.VarName(x) < expr.VarName(best)) {
 				best = x
 			}
 		}
-		return best
 	}
+	return best
 }
 
 // components partitions terms into connected components of the
@@ -529,6 +629,9 @@ func chooseVariable(e expr.Expr, order VarOrder) string {
 // variable. Constant terms get their own singleton components.
 func components(terms []expr.Expr) [][]expr.Expr {
 	n := len(terms)
+	if n == 1 {
+		return [][]expr.Expr{terms}
+	}
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -543,39 +646,52 @@ func components(terms []expr.Expr) [][]expr.Expr {
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
 
-	owner := map[string]int{} // variable -> first term index seen
+	owner := getVarSet() // variable -> (first term index seen)+1
+	termVars := getVarSet()
 	for i, t := range terms {
-		for x := range expr.VarCounts(t) {
-			if j, ok := owner[x]; ok {
-				union(i, j)
-			} else {
-				owner[x] = i
+		termVars.Reset()
+		expr.CollectVarsInto(t, termVars)
+		for _, x := range termVars.Touched() {
+			if j, stored := owner.GetOrSet(x, int32(i+1)); !stored {
+				union(i, int(j-1))
 			}
 		}
 	}
-	groupsByRoot := map[int][]expr.Expr{}
-	var order []int
+	putVarSet(termVars)
+	putVarSet(owner)
+	distinct := 0
+	for i := range terms {
+		if find(i) == i {
+			distinct++
+		}
+	}
+	if distinct == 1 {
+		return [][]expr.Expr{terms}
+	}
+	// Group terms by root, preserving first-seen root order; groupIdx
+	// doubles the parent slice's role as a root → output-group index.
+	groupIdx := make([]int, n)
+	for i := range groupIdx {
+		groupIdx[i] = -1
+	}
+	out := make([][]expr.Expr, 0, distinct)
 	for i, t := range terms {
 		r := find(i)
-		if _, ok := groupsByRoot[r]; !ok {
-			order = append(order, r)
+		gi := groupIdx[r]
+		if gi < 0 {
+			gi = len(out)
+			groupIdx[r] = gi
+			out = append(out, nil)
 		}
-		groupsByRoot[r] = append(groupsByRoot[r], t)
-	}
-	out := make([][]expr.Expr, 0, len(order))
-	for _, r := range order {
-		out = append(out, groupsByRoot[r])
+		out[gi] = append(out[gi], t)
 	}
 	return out
 }
 
 // disjoint reports whether two expressions share no variables.
 func disjoint(a, b expr.Expr) bool {
-	av := expr.VarCounts(a)
-	for x := range expr.VarCounts(b) {
-		if _, ok := av[x]; ok {
-			return false
-		}
-	}
-	return true
+	vs := getVarSet()
+	defer putVarSet(vs)
+	expr.CollectVarsInto(a, vs)
+	return !expr.ContainsAny(b, vs)
 }

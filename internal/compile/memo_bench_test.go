@@ -1,0 +1,49 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/value"
+	"pvcagg/internal/vars"
+)
+
+// BenchmarkCompileMemo measures the memoisation hot path: a Shannon-heavy
+// instance whose sub-problems recur massively, so compile time is
+// dominated by memo lookups. The hash-consed memo keys this benchmark
+// exercises replaced O(subtree) canonical-string rendering per lookup;
+// run with -benchmem to see the allocation profile.
+func BenchmarkCompileMemo(b *testing.B) {
+	reg := vars.NewRegistry()
+	for i := 0; i < 10; i++ {
+		reg.DeclareBool(fmt.Sprintf("bm%d", i), 0.5)
+	}
+	// [COUNT(clauses) <= c]: every Shannon branch re-derives shifted
+	// copies of the same residual sums.
+	terms := make([]expr.Expr, 0, 25)
+	for i := 0; i < 25; i++ {
+		cl := expr.Product(expr.V(fmt.Sprintf("bm%d", i%10)), expr.V(fmt.Sprintf("bm%d", (i+3)%10)))
+		terms = append(terms, expr.Scale(algebra.Count, cl, value.Int(1)))
+	}
+	e := expr.Compare(value.EQ, expr.MSum(algebra.Count, terms...), expr.MConst{V: value.Int(5)})
+	s := algebra.SemiringFor(algebra.Boolean)
+
+	b.Run("memo=on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := New(s, reg, Options{MaxNodes: 20_000_000}).Compile(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memo=off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := New(s, reg, Options{DisableMemo: true, MaxNodes: 20_000_000}).Compile(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

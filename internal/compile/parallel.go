@@ -37,11 +37,12 @@ const memoShards = 64
 
 type memoShard struct {
 	mu sync.RWMutex
-	m  map[string]dtree.Node
+	m  map[uint64][]memoEntry
 }
 
-// shardedMemo is a mutex-striped map from canonical sub-expression
-// renderings to compiled d-tree nodes.
+// shardedMemo is a mutex-striped map from structural sub-expression
+// hashes (collisions resolved by structural equality) to compiled d-tree
+// nodes.
 type shardedMemo struct {
 	shards [memoShards]memoShard
 }
@@ -49,38 +50,29 @@ type shardedMemo struct {
 func newShardedMemo() *shardedMemo {
 	sm := &shardedMemo{}
 	for i := range sm.shards {
-		sm.shards[i].m = map[string]dtree.Node{}
+		sm.shards[i].m = map[uint64][]memoEntry{}
 	}
 	return sm
 }
 
-// shardOf hashes a memo key to its shard (FNV-1a).
-func shardOf(key string) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	return int(h % memoShards)
-}
-
-func (sm *shardedMemo) get(key string) (dtree.Node, bool) {
-	sh := &sm.shards[shardOf(key)]
+func (sm *shardedMemo) get(h uint64, e expr.Expr) (dtree.Node, bool) {
+	sh := &sm.shards[h%memoShards]
 	sh.mu.RLock()
-	n, ok := sh.m[key]
+	n, ok := findEntry(sh.m[h], e)
 	sh.mu.RUnlock()
 	return n, ok
 }
 
-// put stores n under key unless another goroutine got there first, and
+// put stores n under (h, e) unless another goroutine got there first, and
 // returns the winning node so callers converge on one shared sub-tree.
-func (sm *shardedMemo) put(key string, n dtree.Node) dtree.Node {
-	sh := &sm.shards[shardOf(key)]
+func (sm *shardedMemo) put(h uint64, e expr.Expr, n dtree.Node) dtree.Node {
+	sh := &sm.shards[h%memoShards]
 	sh.mu.Lock()
-	if prev, ok := sh.m[key]; ok {
+	if prev, ok := findEntry(sh.m[h], e); ok {
 		sh.mu.Unlock()
 		return prev
 	}
-	sh.m[key] = n
+	sh.m[h] = append(sh.m[h], memoEntry{e, n})
 	sh.mu.Unlock()
 	return n
 }
@@ -187,6 +179,7 @@ type prun struct {
 	shannonN      atomic.Int64
 	prunedTerms   atomic.Int64
 	cacheHits     atomic.Int64
+	sharedHits    atomic.Int64
 }
 
 func (r *prun) snapshot() Stats {
@@ -199,6 +192,7 @@ func (r *prun) snapshot() Stats {
 		Shannon:       int(r.shannonN.Load()),
 		PrunedTerms:   int(r.prunedTerms.Load()),
 		CacheHits:     int(r.cacheHits.Load()),
+		SharedHits:    int(r.sharedHits.Load()),
 		Nodes:         int(r.nodes.Load()),
 	}
 }
@@ -278,22 +272,33 @@ func (r *prun) compile(e expr.Expr) (dtree.Node, error) {
 		return r.newNode(&dtree.ConstLeaf{V: v, Module: e.Kind() == expr.KindModule})
 	}
 	if v, ok := e.(expr.Var); ok {
-		return r.newNode(&dtree.VarLeaf{Name: v.Name})
+		return r.newNode(&dtree.VarLeaf{Name: v.Name, ID: v.ID()})
 	}
-	key := ""
-	if !r.opts.DisableMemo {
-		key = expr.String(e)
-		if n, ok := r.memo.get(key); ok {
+	var h uint64
+	memoised := !r.opts.DisableMemo
+	if memoised {
+		h = expr.Hash(e)
+		if n, ok := r.memo.get(h, e); ok {
 			r.cacheHits.Add(1)
 			return n, nil
+		}
+		if sc := r.opts.Shared; sc != nil {
+			if n, ok := sc.lookup(h, e); ok {
+				r.cacheHits.Add(1)
+				r.sharedHits.Add(1)
+				return r.memo.put(h, e, n), nil
+			}
 		}
 	}
 	n, err := r.compileUncached(e)
 	if err != nil {
 		return nil, err
 	}
-	if key != "" {
-		n = r.memo.put(key, n)
+	if memoised {
+		if sc := r.opts.Shared; sc != nil {
+			n = sc.insert(h, e, n)
+		}
+		n = r.memo.put(h, e, n)
 	}
 	return n, nil
 }
@@ -387,7 +392,7 @@ func (r *prun) tryFactorSum(terms []expr.Expr, module bool, agg algebra.Agg) (dt
 		}
 		shared := false
 		for _, res := range residuals {
-			if _, found := expr.VarCounts(res)[x]; found {
+			if expr.HasVarID(res, x) {
 				shared = true
 				break
 			}
@@ -402,7 +407,7 @@ func (r *prun) tryFactorSum(terms []expr.Expr, module bool, agg algebra.Agg) (dt
 		} else {
 			rest = expr.Simplify(expr.Sum(residuals...), r.s)
 		}
-		sides, err := r.compileAll([]expr.Expr{expr.V(x), rest})
+		sides, err := r.compileAll([]expr.Expr{expr.VFromID(x), rest})
 		if err != nil {
 			return nil, false, err
 		}
@@ -506,7 +511,7 @@ func (r *prun) compileCmp(cm expr.Cmp) (dtree.Node, error) {
 // branches only share work through the memo table.
 func (r *prun) shannon(e expr.Expr) (dtree.Node, error) {
 	x := chooseVariable(e, r.opts.Order)
-	d, err := r.reg.Dist(x)
+	d, err := r.reg.DistByID(x)
 	if err != nil {
 		return nil, r.fail(err)
 	}
@@ -514,7 +519,7 @@ func (r *prun) shannon(e expr.Expr) (dtree.Node, error) {
 	pairs := d.Pairs()
 	subs := make([]expr.Expr, len(pairs))
 	for i, pair := range pairs {
-		subs[i] = expr.Simplify(expr.Subst(e, x, pair.V), r.s)
+		subs[i] = expr.Simplify(expr.SubstID(e, x, pair.V), r.s)
 	}
 	children, err := r.compileAll(subs)
 	if err != nil {
@@ -524,5 +529,5 @@ func (r *prun) shannon(e expr.Expr) (dtree.Node, error) {
 	for i, pair := range pairs {
 		branches[i] = dtree.Branch{Val: pair.V, P: pair.P, Child: children[i]}
 	}
-	return r.newNode(&dtree.ExclusiveNode{Var: x, Branches: branches})
+	return r.newNode(&dtree.ExclusiveNode{Var: expr.VarName(x), Branches: branches})
 }

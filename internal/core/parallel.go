@@ -37,7 +37,7 @@ func (p *Pipeline) DistributionParallelCtx(ctx context.Context, e expr.Expr, par
 	rep.Compile = res.Stats
 	rep.Tree = dtree.Measure(res.Root)
 	t1 := time.Now()
-	d, evalStats, err := dtree.Evaluate(res.Root, dtree.Env{Semiring: p.Semiring, Registry: p.Registry})
+	d, evalStats, err := dtree.EvaluateShared(res.Root, dtree.Env{Semiring: p.Semiring, Registry: p.Registry}, p.Options.Shared.EvalCache())
 	if err != nil {
 		return prob.Dist{}, rep, fmt.Errorf("core: evaluate %s: %w", expr.String(e), err)
 	}

@@ -16,6 +16,7 @@ import (
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/prob"
 	"pvcagg/internal/value"
+	"pvcagg/internal/vars"
 )
 
 // Node is a d-tree node. Compiled d-trees may share identical sub-trees
@@ -26,7 +27,13 @@ type Node interface {
 }
 
 // VarLeaf is a leaf holding a variable x ∈ X; its distribution is Px.
-type VarLeaf struct{ Name string }
+// ID, when non-zero, is the interned vars.ID of Name; the compilers fill
+// it so evaluation resolves the distribution with a slice load instead of
+// a map lookup.
+type VarLeaf struct {
+	Name string
+	ID   vars.ID
+}
 
 // ConstLeaf is a leaf holding a semiring constant s ∈ S or a monoid
 // constant m ∈ M (Module reports which); its distribution is {(v, 1)}.

@@ -2,6 +2,8 @@ package dtree
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/prob"
@@ -29,10 +31,61 @@ type memoKey struct {
 	cap *prob.Cap
 }
 
+// DistCache is a bounded, concurrency-safe cache of node distributions
+// keyed by (node identity, cap identity) — the same key as the per-call
+// evaluation memo. Shared d-tree nodes keep their identity across
+// compilations that share a compile.SharedCache, so one DistCache lets
+// every tuple of a pvc-table reuse the distributions of the sub-trees it
+// shares with already-evaluated tuples.
+type DistCache struct {
+	mu           sync.RWMutex
+	m            map[memoKey]prob.Dist
+	max          int
+	hits, misses atomic.Int64
+}
+
+// NewDistCache returns an empty cache bounded to max entries (insertions
+// beyond the bound are dropped, never evicted).
+func NewDistCache(max int) *DistCache {
+	return &DistCache{m: make(map[memoKey]prob.Dist, 256), max: max}
+}
+
+// Stats reports the cache counters: hits, misses and resident entries.
+func (c *DistCache) Stats() (hits, misses, entries int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), int64(n)
+}
+
+func (c *DistCache) get(k memoKey) (prob.Dist, bool) {
+	c.mu.RLock()
+	d, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return d, ok
+}
+
+func (c *DistCache) put(k memoKey, d prob.Dist) {
+	c.mu.Lock()
+	if len(c.m) < c.max {
+		c.m[k] = d
+	}
+	c.mu.Unlock()
+}
+
 type evaluator struct {
-	env   Env
-	memo  map[memoKey]prob.Dist
-	stats EvalStats
+	env    Env
+	memo   map[memoKey]prob.Dist
+	shared *DistCache
+	stats  EvalStats
 }
 
 // Evaluate computes the probability distribution represented by the d-tree
@@ -40,7 +93,15 @@ type evaluator struct {
 // Eq. (5) at ⊙, Eq. (7) at ⊗, Eqs. (8)/(9) at [θ] and Eq. (10) at ⊔
 // nodes. Shared sub-trees are evaluated once.
 func Evaluate(n Node, env Env) (prob.Dist, EvalStats, error) {
-	ev := &evaluator{env: env, memo: map[memoKey]prob.Dist{}}
+	return EvaluateShared(n, env, nil)
+}
+
+// EvaluateShared is Evaluate consulting (and filling) a cross-evaluation
+// distribution cache; nil behaves exactly like Evaluate. Distributions
+// served from the cache do not count as node evaluations in EvalStats —
+// the stats report work done, not DAG size.
+func EvaluateShared(n Node, env Env, shared *DistCache) (prob.Dist, EvalStats, error) {
+	ev := &evaluator{env: env, memo: map[memoKey]prob.Dist{}, shared: shared}
 	d, err := ev.eval(n, nil)
 	return d, ev.stats, err
 }
@@ -49,6 +110,12 @@ func (ev *evaluator) eval(n Node, cap *prob.Cap) (prob.Dist, error) {
 	key := memoKey{n, cap}
 	if d, ok := ev.memo[key]; ok {
 		return d, nil
+	}
+	if ev.shared != nil {
+		if d, ok := ev.shared.get(key); ok {
+			ev.memo[key] = d
+			return d, nil
+		}
 	}
 	d, err := ev.evalUncached(n, cap)
 	if err != nil {
@@ -59,6 +126,9 @@ func (ev *evaluator) eval(n Node, cap *prob.Cap) (prob.Dist, error) {
 	}
 	ev.stats.NodeEvals++
 	ev.memo[key] = d
+	if ev.shared != nil {
+		ev.shared.put(key, d)
+	}
 	return d, nil
 }
 
@@ -66,7 +136,13 @@ func (ev *evaluator) evalUncached(n Node, cap *prob.Cap) (prob.Dist, error) {
 	s := ev.env.Semiring
 	switch t := n.(type) {
 	case *VarLeaf:
-		d, err := ev.env.Registry.Dist(t.Name)
+		var d prob.Dist
+		var err error
+		if t.ID != 0 {
+			d, err = ev.env.Registry.DistByID(t.ID)
+		} else {
+			d, err = ev.env.Registry.Dist(t.Name)
+		}
 		if err != nil {
 			return prob.Dist{}, err
 		}

@@ -35,18 +35,31 @@ func (k Kind) String() string {
 
 // Expr is a node of the expression AST. Implementations are Var, Const,
 // MConst, Add, Mul, Tensor, AggSum and Cmp. Expressions are immutable once
-// built; all rewriting returns new nodes.
+// built; all rewriting returns new nodes. Composite nodes built through
+// the constructors (Sum, Product, Scale, MSum, Compare, NewTensor, V and
+// the rewrites in Simplify/Subst) carry a cached structural hash and
+// variable-occurrence count, making Hash, Equal and HasVars cheap on the
+// compilation hot path; plain struct literals still work and fall back to
+// recomputing both on demand.
 type Expr interface {
 	// Kind returns the sort of the expression.
 	Kind() Kind
-	// appendString writes the canonical rendering (also the memoisation key).
+	// appendString writes the canonical rendering (diagnostics only; the
+	// compilers memoise on Hash/Equal).
 	appendString(b *strings.Builder)
 	// collectVars adds every variable occurrence to counts.
 	collectVars(counts map[string]int)
+	// hash returns the structural hash, cached at construction for
+	// composite nodes.
+	hash() uint64
 }
 
-// Var is a variable symbol x ∈ X (a semiring expression).
-type Var struct{ Name string }
+// Var is a variable symbol x ∈ X (a semiring expression). The unexported
+// id caches the interned VarID (see Intern); V fills it at construction.
+type Var struct {
+	Name string
+	id   VarID
+}
 
 // Const is a constant s ∈ S of the annotation semiring.
 type Const struct{ V value.V }
@@ -55,10 +68,18 @@ type Const struct{ V value.V }
 type MConst struct{ V value.V }
 
 // Add is an n-ary semiring sum Φ1 + … + Φn.
-type Add struct{ Terms []Expr }
+type Add struct {
+	Terms []Expr
+	h     uint64
+	nv    int32
+}
 
 // Mul is an n-ary semiring product Φ1 · … · Φn.
-type Mul struct{ Factors []Expr }
+type Mul struct {
+	Factors []Expr
+	h       uint64
+	nv      int32
+}
 
 // Tensor is the semimodule scalar action Φ ⊗ α: Scalar is a semiring
 // expression, Mod a semimodule expression (usually an MConst), and Agg
@@ -67,12 +88,16 @@ type Tensor struct {
 	Agg    algebra.Agg
 	Scalar Expr
 	Mod    Expr
+	h      uint64
+	nv     int32
 }
 
 // AggSum is the monoid sum α1 +op … +op αn over the monoid named by Agg.
 type AggSum struct {
 	Agg   algebra.Agg
 	Terms []Expr
+	h     uint64
+	nv    int32
 }
 
 // Cmp is the conditional expression [L θ R]. Both sides must have the same
@@ -81,6 +106,8 @@ type AggSum struct {
 type Cmp struct {
 	Th   value.Theta
 	L, R Expr
+	h    uint64
+	nv   int32
 }
 
 // Kind implementations.
@@ -96,8 +123,8 @@ func (Cmp) Kind() Kind    { return KindSemiring }
 
 // Convenience constructors.
 
-// V returns the variable named x.
-func V(x string) Var { return Var{x} }
+// V returns the variable named x, interned.
+func V(x string) Var { return Var{Name: x, id: Intern(x)} }
 
 // CInt returns the semiring integer constant n.
 func CInt(n int64) Const { return Const{value.Int(n)} }
@@ -121,7 +148,7 @@ func Sum(terms ...Expr) Expr {
 	if len(flat) == 1 {
 		return flat[0]
 	}
-	return Add{flat}
+	return newAdd(flat)
 }
 
 // Product builds a flattened semiring product of the given factors.
@@ -137,12 +164,12 @@ func Product(factors ...Expr) Expr {
 	if len(flat) == 1 {
 		return flat[0]
 	}
-	return Mul{flat}
+	return newMul(flat)
 }
 
 // Scale builds Φ ⊗ m for monoid agg.
 func Scale(agg algebra.Agg, scalar Expr, m value.V) Tensor {
-	return Tensor{agg, scalar, MConst{m}}
+	return NewTensor(agg, scalar, MConst{m})
 }
 
 // MSum builds a flattened monoid sum over agg.
@@ -158,11 +185,11 @@ func MSum(agg algebra.Agg, terms ...Expr) Expr {
 	if len(flat) == 1 {
 		return flat[0]
 	}
-	return AggSum{agg, flat}
+	return newAggSum(agg, flat)
 }
 
 // Compare builds the conditional expression [l θ r].
-func Compare(th value.Theta, l, r Expr) Cmp { return Cmp{th, l, r} }
+func Compare(th value.Theta, l, r Expr) Cmp { return newCmp(th, l, r) }
 
 // Validate checks well-formedness: sort correctness of all sub-expressions
 // and monoid consistency inside semimodule sums. It returns the first
@@ -293,7 +320,9 @@ func VarCounts(e Expr) map[string]int {
 	return counts
 }
 
-// HasVars reports whether e contains at least one variable.
+// HasVars reports whether e contains at least one variable. Constructor-
+// built composite nodes answer in O(1) from the variable-occurrence count
+// cached at construction.
 func HasVars(e Expr) bool {
 	switch n := e.(type) {
 	case Var:
@@ -301,6 +330,9 @@ func HasVars(e Expr) bool {
 	case Const, MConst:
 		return false
 	case Add:
+		if n.h != 0 {
+			return n.nv > 0
+		}
 		for _, t := range n.Terms {
 			if HasVars(t) {
 				return true
@@ -308,6 +340,9 @@ func HasVars(e Expr) bool {
 		}
 		return false
 	case Mul:
+		if n.h != 0 {
+			return n.nv > 0
+		}
 		for _, f := range n.Factors {
 			if HasVars(f) {
 				return true
@@ -315,8 +350,14 @@ func HasVars(e Expr) bool {
 		}
 		return false
 	case Tensor:
+		if n.h != 0 {
+			return n.nv > 0
+		}
 		return HasVars(n.Scalar) || HasVars(n.Mod)
 	case AggSum:
+		if n.h != 0 {
+			return n.nv > 0
+		}
 		for _, t := range n.Terms {
 			if HasVars(t) {
 				return true
@@ -324,6 +365,9 @@ func HasVars(e Expr) bool {
 		}
 		return false
 	case Cmp:
+		if n.h != 0 {
+			return n.nv > 0
+		}
 		return HasVars(n.L) || HasVars(n.R)
 	default:
 		panic(fmt.Sprintf("expr: unknown node %T", e))
@@ -358,8 +402,9 @@ func (cm Cmp) collectVars(c map[string]int) {
 }
 
 // String renders e in the concrete syntax accepted by Parse. The rendering
-// is canonical for structurally equal expressions and doubles as the
-// memoisation key during compilation.
+// is canonical for structurally equal expressions; it is used for
+// diagnostics and parsing round-trips (compilation memoises on the cached
+// structural hash, see Hash and Equal).
 func String(e Expr) string {
 	var b strings.Builder
 	e.appendString(&b)

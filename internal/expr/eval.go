@@ -101,35 +101,75 @@ func MustEval(e Expr, nu Valuation, s algebra.Semiring) value.V {
 // semiring constant v (the Φ|x←v of Eq. (10)). Sub-expressions without x
 // are shared, not copied.
 func Subst(e Expr, x string, v value.V) Expr {
+	return SubstID(e, Intern(x), v)
+}
+
+// SubstID is Subst by interned variable ID — the form the compilers use on
+// the Shannon-expansion hot path. Sub-trees that do not mention the
+// variable are returned unchanged (pointer-shared, cached hash intact),
+// so each substitution allocates only along the paths that actually
+// contain x.
+func SubstID(e Expr, x VarID, v value.V) Expr {
+	out, _ := substID(e, x, v)
+	return out
+}
+
+func substID(e Expr, x VarID, v value.V) (Expr, bool) {
 	switch n := e.(type) {
 	case Var:
-		if n.Name == x {
-			return Const{v}
+		if n.ID() == x {
+			return Const{v}, true
 		}
-		return n
+		return n, false
 	case Const, MConst:
-		return n
+		return n, false
 	case Add:
-		return Add{substAll(n.Terms, x, v)}
+		if ts, changed := substAllID(n.Terms, x, v); changed {
+			return newAdd(ts), true
+		}
+		return n, false
 	case Mul:
-		return Mul{substAll(n.Factors, x, v)}
+		if fs, changed := substAllID(n.Factors, x, v); changed {
+			return newMul(fs), true
+		}
+		return n, false
 	case Tensor:
-		return Tensor{n.Agg, Subst(n.Scalar, x, v), Subst(n.Mod, x, v)}
+		sc, c1 := substID(n.Scalar, x, v)
+		mod, c2 := substID(n.Mod, x, v)
+		if !c1 && !c2 {
+			return n, false
+		}
+		return NewTensor(n.Agg, sc, mod), true
 	case AggSum:
-		return AggSum{n.Agg, substAll(n.Terms, x, v)}
+		if ts, changed := substAllID(n.Terms, x, v); changed {
+			return newAggSum(n.Agg, ts), true
+		}
+		return n, false
 	case Cmp:
-		return Cmp{n.Th, Subst(n.L, x, v), Subst(n.R, x, v)}
+		l, c1 := substID(n.L, x, v)
+		r, c2 := substID(n.R, x, v)
+		if !c1 && !c2 {
+			return n, false
+		}
+		return newCmp(n.Th, l, r), true
 	default:
 		panic(fmt.Sprintf("expr: unknown node %T", e))
 	}
 }
 
-func substAll(es []Expr, x string, v value.V) []Expr {
-	out := make([]Expr, len(es))
+func substAllID(es []Expr, x VarID, v value.V) ([]Expr, bool) {
+	var out []Expr
 	for i, e := range es {
-		out[i] = Subst(e, x, v)
+		s, changed := substID(e, x, v)
+		if changed && out == nil {
+			out = make([]Expr, len(es))
+			copy(out, es[:i])
+		}
+		if out != nil {
+			out[i] = s
+		}
 	}
-	return out
+	return out, out != nil
 }
 
 // Simplify performs semiring-aware normalisation: flattening of nested
@@ -174,7 +214,7 @@ func Simplify(e Expr, s algebra.Semiring) Expr {
 		if len(terms) == 1 {
 			return terms[0]
 		}
-		return Add{terms}
+		return newAdd(terms)
 	case Mul:
 		factors := make([]Expr, 0, len(n.Factors))
 		acc := s.One()
@@ -211,7 +251,7 @@ func Simplify(e Expr, s algebra.Semiring) Expr {
 		if len(factors) == 1 {
 			return factors[0]
 		}
-		return Mul{factors}
+		return newMul(factors)
 	case Tensor:
 		mo := algebra.MonoidFor(n.Agg)
 		sc := Simplify(n.Scalar, s)
@@ -232,9 +272,9 @@ func Simplify(e Expr, s algebra.Semiring) Expr {
 		}
 		// (Φ1·…) ⊗ (Ψ ⊗ α) nests flatten via the (s1·s2)⊗m law.
 		if inner, ok := mod.(Tensor); ok && sameMonoid(inner.Agg, n.Agg) {
-			return Simplify(Tensor{n.Agg, Product(sc, inner.Scalar), inner.Mod}, s)
+			return Simplify(NewTensor(n.Agg, Product(sc, inner.Scalar), inner.Mod), s)
 		}
-		return Tensor{n.Agg, sc, mod}
+		return NewTensor(n.Agg, sc, mod)
 	case AggSum:
 		mo := algebra.MonoidFor(n.Agg)
 		terms := make([]Expr, 0, len(n.Terms))
@@ -269,7 +309,7 @@ func Simplify(e Expr, s algebra.Semiring) Expr {
 		if len(terms) == 1 {
 			return terms[0]
 		}
-		return AggSum{n.Agg, terms}
+		return newAggSum(n.Agg, terms)
 	case Cmp:
 		l := Simplify(n.L, s)
 		r := Simplify(n.R, s)
@@ -281,7 +321,7 @@ func Simplify(e Expr, s algebra.Semiring) Expr {
 			}
 			return Const{s.Zero()}
 		}
-		return Cmp{n.Th, l, r}
+		return newCmp(n.Th, l, r)
 	default:
 		panic(fmt.Sprintf("expr: unknown node %T", e))
 	}

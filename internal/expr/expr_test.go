@@ -181,16 +181,16 @@ func MustEvalPanics(t *testing.T) (msg string) {
 
 func TestValidateRejectsSortErrors(t *testing.T) {
 	bad := []Expr{
-		Add{[]Expr{V("x"), MInt(3)}},
-		Mul{[]Expr{V("x"), AggSum{algebra.Min, []Expr{MInt(3)}}}},
-		Tensor{algebra.Min, MInt(1), MInt(3)},
-		Tensor{algebra.Min, V("x"), V("y")},
-		AggSum{algebra.Min, []Expr{V("x")}},
-		AggSum{algebra.Min, []Expr{Tensor{algebra.Sum, V("x"), MInt(1)}}},
-		Cmp{value.LE, V("x"), MInt(3)},
-		Add{nil},
-		Mul{nil},
-		AggSum{algebra.Min, nil},
+		Add{Terms: []Expr{V("x"), MInt(3)}},
+		Mul{Factors: []Expr{V("x"), AggSum{Agg: algebra.Min, Terms: []Expr{MInt(3)}}}},
+		Tensor{Agg: algebra.Min, Scalar: MInt(1), Mod: MInt(3)},
+		Tensor{Agg: algebra.Min, Scalar: V("x"), Mod: V("y")},
+		AggSum{Agg: algebra.Min, Terms: []Expr{V("x")}},
+		AggSum{Agg: algebra.Min, Terms: []Expr{Tensor{Agg: algebra.Sum, Scalar: V("x"), Mod: MInt(1)}}},
+		Cmp{Th: value.LE, L: V("x"), R: MInt(3)},
+		Add{},
+		Mul{},
+		AggSum{Agg: algebra.Min},
 	}
 	for i, e := range bad {
 		if err := Validate(e); err == nil {
@@ -201,7 +201,7 @@ func TestValidateRejectsSortErrors(t *testing.T) {
 
 func TestValidateAcceptsCountInsideSum(t *testing.T) {
 	// COUNT is SUM over unit weights; mixing the two names is legal.
-	e := AggSum{algebra.Count, []Expr{Tensor{algebra.Sum, V("x"), MInt(1)}}}
+	e := AggSum{Agg: algebra.Count, Terms: []Expr{Tensor{Agg: algebra.Sum, Scalar: V("x"), Mod: MInt(1)}}}
 	if err := Validate(e); err != nil {
 		t.Errorf("COUNT/SUM mixing rejected: %v", err)
 	}
@@ -265,17 +265,17 @@ func TestSimplifyConstantFolding(t *testing.T) {
 
 func TestSimplifyModule(t *testing.T) {
 	// 0 ⊗ m collapses to the monoid neutral.
-	e := Simplify(Tensor{algebra.Min, CInt(0), MInt(7)}, natS)
+	e := Simplify(NewTensor(algebra.Min, CInt(0), MInt(7)), natS)
 	if mc, ok := e.(MConst); !ok || mc.V != value.PosInf() {
 		t.Errorf("0⊗7 under MIN = %v", String(e))
 	}
 	// 1 ⊗ α collapses to α.
-	e = Simplify(Tensor{algebra.Min, CInt(1), Tensor{algebra.Min, V("x"), MInt(3)}}, natS)
+	e = Simplify(NewTensor(algebra.Min, CInt(1), NewTensor(algebra.Min, V("x"), MInt(3))), natS)
 	if String(e) != "(x @min m:3)" {
 		t.Errorf("1⊗(x⊗3) = %v", String(e))
 	}
 	// Nested tensors flatten via (s1·s2)⊗m.
-	e = Simplify(Tensor{algebra.Min, V("y"), Tensor{algebra.Min, V("x"), MInt(3)}}, natS)
+	e = Simplify(NewTensor(algebra.Min, V("y"), NewTensor(algebra.Min, V("x"), MInt(3))), natS)
 	if String(e) != "((y*x) @min m:3)" {
 		t.Errorf("y⊗(x⊗3) = %v", String(e))
 	}

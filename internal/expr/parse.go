@@ -242,7 +242,7 @@ func (p *parser) parseTop() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Tensor{agg, l, r}, nil
+		return NewTensor(agg, l, r), nil
 	}
 	return l, nil
 }
@@ -266,7 +266,7 @@ func (p *parser) parseAdd() (Expr, error) {
 	if len(terms) == 1 {
 		return terms[0], nil
 	}
-	return Add{terms}, nil
+	return newAdd(terms), nil
 }
 
 func (p *parser) parseMul() (Expr, error) {
@@ -288,7 +288,7 @@ func (p *parser) parseMul() (Expr, error) {
 	if len(factors) == 1 {
 		return factors[0], nil
 	}
-	return Mul{factors}, nil
+	return newMul(factors), nil
 }
 
 func (p *parser) parseAtom() (Expr, error) {
@@ -317,7 +317,7 @@ func (p *parser) parseAtom() (Expr, error) {
 		if p.tok.kind == tokLParen {
 			return nil, fmt.Errorf("expr: %q at offset %d is not an aggregation name", name, pos)
 		}
-		return Var{name}, nil
+		return V(name), nil
 	case tokLParen:
 		if err := p.next(); err != nil {
 			return nil, err
@@ -358,7 +358,7 @@ func (p *parser) parseAtom() (Expr, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
-		return Cmp{th, l, r}, nil
+		return newCmp(th, l, r), nil
 	default:
 		return nil, fmt.Errorf("expr: unexpected token %q at offset %d", p.tok.text, p.tok.pos)
 	}
@@ -390,7 +390,7 @@ func (p *parser) parseAggCall(agg algebra.Agg) (Expr, error) {
 	if err := p.next(); err != nil {
 		return nil, err
 	}
-	return AggSum{agg, terms}, nil
+	return newAggSum(agg, terms), nil
 }
 
 // coerce resolves the sort of numeric literals from their context: monoid
@@ -401,17 +401,17 @@ func coerce(e Expr) Expr {
 	case Var, Const, MConst:
 		return e
 	case Add:
-		return Add{coerceAll(n.Terms)}
+		return newAdd(coerceAll(n.Terms))
 	case Mul:
-		return Mul{coerceAll(n.Factors)}
+		return newMul(coerceAll(n.Factors))
 	case Tensor:
-		return Tensor{n.Agg, coerce(n.Scalar), toModule(coerce(n.Mod))}
+		return NewTensor(n.Agg, coerce(n.Scalar), toModule(coerce(n.Mod)))
 	case AggSum:
 		out := make([]Expr, len(n.Terms))
 		for i, t := range n.Terms {
 			out[i] = toModule(coerce(t))
 		}
-		return AggSum{n.Agg, out}
+		return newAggSum(n.Agg, out)
 	case Cmp:
 		l, r := coerce(n.L), coerce(n.R)
 		if l.Kind() == KindModule && r.Kind() == KindSemiring {
@@ -420,7 +420,7 @@ func coerce(e Expr) Expr {
 		if r.Kind() == KindModule && l.Kind() == KindSemiring {
 			l = toModule(l)
 		}
-		return Cmp{n.Th, l, r}
+		return newCmp(n.Th, l, r)
 	default:
 		return e
 	}

@@ -28,9 +28,13 @@ type Dist struct {
 	pairs []Pair
 }
 
-// epsilon below which probabilities are dropped during construction. Exact
-// zero is the common case; the tolerance absorbs float underflow from long
-// products.
+// dropBelow is the threshold at or below which probabilities are dropped
+// during construction. It is exactly zero — and deliberately so: the
+// library's contract is bit-for-bit exact distributions, so only entries
+// whose probability is exactly 0 (impossible outcomes, e.g. a Bernoulli
+// with p = 1) are removed, and every subnormal-but-positive probability
+// from long products is retained. TestDropBelowExactZero pins this
+// behaviour.
 const dropBelow = 0.0
 
 // FromPairs builds a distribution from arbitrary (value, probability)
@@ -59,9 +63,27 @@ func fromMap(m map[value.V]float64) Dist {
 	return Dist{out}
 }
 
+// pointZero and pointOne are the interned point distributions of the two
+// ubiquitous constants (0S/⊥ and 1S/⊤): constant leaves evaluate to one
+// of them in almost every case, and Dist contents are immutable, so the
+// shared slices are safe to hand out.
+var (
+	pointZero = Dist{[]Pair{{value.Int(0), 1}}}
+	pointOne  = Dist{[]Pair{{value.Int(1), 1}}}
+)
+
 // Point is the distribution concentrated on v with probability 1, the
 // distribution of a constant leaf.
-func Point(v value.V) Dist { return Dist{[]Pair{{v.Key(), 1}}} }
+func Point(v value.V) Dist {
+	k := v.Key()
+	switch k {
+	case value.Int(0):
+		return pointZero
+	case value.Int(1):
+		return pointOne
+	}
+	return Dist{[]Pair{{k, 1}}}
+}
 
 // Bernoulli is the Boolean distribution {(⊤, p), (⊥, 1−p)}.
 func Bernoulli(p float64) Dist {

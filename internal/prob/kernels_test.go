@@ -1,0 +1,246 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvcagg/internal/value"
+)
+
+// Differential fuzz of the merge-based kernels against the map-based
+// reference implementations (convolveRef, mapRef, mixtureRef,
+// cmpConvolveRef) at tolerance 0. Probabilities are small dyadic
+// rationals (multiples of 1/256), so every product and sum in both
+// implementations is exact in float64 regardless of association order —
+// an honest bitwise-equality check even for CmpConvolve, whose prefix-mass
+// restructure reorders the summation.
+
+// randDyadicDist builds a random distribution with dyadic probabilities
+// and a support drawn from ints (optionally mixed with ±∞).
+func randDyadicDist(r *rand.Rand, maxSize int, withInf bool) Dist {
+	n := 1 + r.Intn(maxSize)
+	pairs := make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		var v value.V
+		switch {
+		case withInf && r.Intn(8) == 0:
+			if r.Intn(2) == 0 {
+				v = value.PosInf()
+			} else {
+				v = value.NegInf()
+			}
+		case r.Intn(4) == 0:
+			v = value.Int(int64(r.Intn(2000) - 1000)) // sparse, wide
+		default:
+			v = value.Int(int64(r.Intn(30)))
+		}
+		p := float64(1+r.Intn(255)) / 256
+		pairs = append(pairs, Pair{v, p})
+	}
+	return FromPairs(pairs)
+}
+
+func assertBitIdentical(t *testing.T, label string, got, want Dist) {
+	t.Helper()
+	gp, wp := got.Pairs(), want.Pairs()
+	if len(gp) != len(wp) {
+		t.Fatalf("%s: size %d != %d\n got %v\nwant %v", label, len(gp), len(wp), got, want)
+	}
+	for i := range gp {
+		if gp[i].V.Key() != wp[i].V.Key() || gp[i].P != wp[i].P {
+			t.Fatalf("%s: pair %d: (%v, %v) != (%v, %v)", label, i, gp[i].V, gp[i].P, wp[i].V, wp[i].P)
+		}
+	}
+}
+
+var fuzzOps = []struct {
+	name string
+	op   Op
+}{
+	{"add", func(a, b value.V) value.V {
+		if (a.IsPosInf() && b.IsNegInf()) || (a.IsNegInf() && b.IsPosInf()) {
+			return value.Int(0) // +∞ + −∞ never arises from well-formed expressions
+		}
+		return a.Add(b)
+	}},
+	{"min", func(a, b value.V) value.V { return a.Min(b) }},
+	{"max", func(a, b value.V) value.V { return a.Max(b) }},
+	{"mul", func(a, b value.V) value.V {
+		// Guard against +∞ · −∞-free inputs only: restrict to finite/zero.
+		if !a.IsInt() || !b.IsInt() {
+			return a.Max(b)
+		}
+		return a.Mul(b)
+	}},
+}
+
+func TestConvolveDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		a := randDyadicDist(r, 12, true)
+		b := randDyadicDist(r, 12, true)
+		var cap *Cap
+		if r.Intn(2) == 0 {
+			cap = &Cap{Above: true, Limit: value.Int(int64(r.Intn(40)))}
+		}
+		op := fuzzOps[trial%len(fuzzOps)]
+		got := Convolve(a, b, op.op, cap)
+		want := convolveRef(a, b, op.op, cap)
+		assertBitIdentical(t, "Convolve/"+op.name, got, want)
+	}
+}
+
+// TestConvolveDenseSpill forces the dense window past its budget so the
+// pooled-map spill path is exercised, and checks it against the
+// reference.
+func TestConvolveDenseSpill(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		// Very sparse, very wide supports: values up to ±1e9 forbid a
+		// dense window.
+		build := func() Dist {
+			n := 2 + r.Intn(6)
+			pairs := make([]Pair, 0, n)
+			for i := 0; i < n; i++ {
+				pairs = append(pairs, Pair{value.Int(int64(r.Intn(2_000_000_000) - 1_000_000_000)), float64(1+r.Intn(255)) / 256})
+			}
+			return FromPairs(pairs)
+		}
+		a, b := build(), build()
+		op := func(x, y value.V) value.V { return x.Add(y) }
+		assertBitIdentical(t, "Convolve/spill", Convolve(a, b, op, nil), convolveRef(a, b, op, nil))
+	}
+}
+
+// TestConvolveExtremeValues: supports spanning the whole int64 range must
+// spill, not overflow the dense window's width arithmetic — including
+// windows pinned at MaxInt64 (base+len overflow) and MaxInt64 outputs
+// (n+1 overflow).
+func TestConvolveExtremeValues(t *testing.T) {
+	op := func(x, y value.V) value.V { return x.Max(y) }
+	cases := [][2]Dist{
+		{
+			FromPairs([]Pair{{value.Int(math.MinInt64), 0.25}, {value.Int(0), 0.25}, {value.Int(math.MaxInt64), 0.5}}),
+			FromPairs([]Pair{{value.Int(0), 0.5}, {value.Int(1), 0.5}}),
+		},
+		{
+			// MaxInt64 encountered first pins the window at the top of the
+			// range; the later small values must spill.
+			FromPairs([]Pair{{value.Int(math.MaxInt64), 0.5}, {value.Int(math.MinInt64), 0.5}}),
+			FromPairs([]Pair{{value.Int(math.MinInt64), 1}}),
+		},
+		{
+			FromPairs([]Pair{{value.Int(math.MaxInt64 - 1), 0.5}, {value.Int(math.MaxInt64), 0.5}}),
+			FromPairs([]Pair{{value.Int(-3), 0.5}, {value.Int(math.MaxInt64), 0.5}}),
+		},
+	}
+	for i, c := range cases {
+		assertBitIdentical(t, fmt.Sprintf("Convolve/extreme%d", i), Convolve(c[0], c[1], op, nil), convolveRef(c[0], c[1], op, nil))
+	}
+}
+
+func TestMapDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	fns := []func(value.V) value.V{
+		func(v value.V) value.V { return v },
+		func(v value.V) value.V { return v.Max(value.Int(5)) },
+		func(v value.V) value.V { // non-monotone: forces the sort path
+			if !v.IsInt() {
+				return v
+			}
+			return value.Int(-v.Int64())
+		},
+		func(v value.V) value.V { return value.Bool(v.Truth()) },
+	}
+	for trial := 0; trial < 200; trial++ {
+		d := randDyadicDist(r, 16, true)
+		f := fns[trial%len(fns)]
+		assertBitIdentical(t, "Map", Map(d, f), mapRef(d, f))
+	}
+}
+
+func TestMixtureDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(10)
+		branches := make([]Dist, k)
+		weights := make([]float64, k)
+		for i := range branches {
+			branches[i] = randDyadicDist(r, 8, true)
+			weights[i] = float64(r.Intn(256)) / 256
+		}
+		assertBitIdentical(t, "Mixture", Mixture(branches, weights), mixtureRef(branches, weights))
+	}
+}
+
+func TestCmpConvolveDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	thetas := []value.Theta{value.EQ, value.NE, value.LE, value.GE, value.LT, value.GT}
+	for trial := 0; trial < 400; trial++ {
+		a := randDyadicDist(r, 12, true)
+		b := randDyadicDist(r, 12, true)
+		th := thetas[trial%len(thetas)]
+		assertBitIdentical(t, "CmpConvolve/"+th.String(), CmpConvolve(a, b, th), cmpConvolveRef(a, b, th))
+	}
+}
+
+// TestMixtureCanonicalisesValues is the regression test for the Mixture
+// canonicalisation bug: the historical kernel accumulated on the raw
+// value, so two representations of the same infinity (which compare equal
+// under Key and Cmp) produced two entries instead of merging. Dist
+// contents are only reachable through canonicalising constructors, so the
+// pathological input is built in-package.
+func TestMixtureCanonicalisesValues(t *testing.T) {
+	// Two branches whose +∞ entries are the same value; a buggy kernel
+	// keyed on the raw value merges them only if representations match.
+	b1 := Dist{pairs: []Pair{{value.Int(1), 0.5}, {value.PosInf(), 0.5}}}
+	b2 := Dist{pairs: []Pair{{value.PosInf(), 1.0}}}
+	got := Mixture([]Dist{b1, b2}, []float64{0.5, 0.5})
+	if got.Size() != 2 {
+		t.Fatalf("Mixture did not merge canonical-equal values: %v", got)
+	}
+	if p := got.P(value.PosInf()); p != 0.75 {
+		t.Errorf("P(+inf) = %v, want 0.75", p)
+	}
+	if p := got.P(value.Int(1)); p != 0.25 {
+		t.Errorf("P(1) = %v, want 0.25", p)
+	}
+	// And against the fixed reference.
+	assertBitIdentical(t, "Mixture/canonical", got, mixtureRef([]Dist{b1, b2}, []float64{0.5, 0.5}))
+}
+
+// TestDropBelowExactZero pins the dropBelow contract: the threshold is
+// exactly zero, so impossible outcomes are dropped and every positive
+// probability — down to the smallest subnormal — is retained.
+func TestDropBelowExactZero(t *testing.T) {
+	if dropBelow != 0.0 {
+		t.Fatalf("dropBelow = %v, want exactly 0", dropBelow)
+	}
+	tiny := math.SmallestNonzeroFloat64
+	d := FromPairs([]Pair{
+		{value.Int(0), 0},    // impossible: dropped
+		{value.Int(1), tiny}, // subnormal: retained
+		{value.Int(2), 1},
+	})
+	if d.Size() != 2 {
+		t.Fatalf("FromPairs kept %d entries, want 2: %v", d.Size(), d)
+	}
+	if p := d.P(value.Int(1)); p != tiny {
+		t.Errorf("subnormal probability %v not retained exactly (got %v)", tiny, p)
+	}
+	if p := d.P(value.Int(0)); p != 0 {
+		t.Errorf("zero-probability entry retained: %v", p)
+	}
+	// The same contract holds through the kernels: a Bernoulli with p = 1
+	// loses its impossible ⊥ entry, and subnormal masses survive a
+	// convolution.
+	if got := Bernoulli(1).Size(); got != 1 {
+		t.Errorf("Bernoulli(1) has %d entries, want 1", got)
+	}
+	conv := Convolve(d, Point(value.Int(0)), func(a, b value.V) value.V { return a.Add(b) }, nil)
+	if p := conv.P(value.Int(1)); p != tiny {
+		t.Errorf("subnormal probability lost in Convolve: got %v", p)
+	}
+}

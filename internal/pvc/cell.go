@@ -8,6 +8,7 @@ package pvc
 
 import (
 	"fmt"
+	"strings"
 
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/expr"
@@ -98,13 +99,23 @@ func (c Cell) ModuleExpr() (expr.Expr, error) {
 // Key returns a canonical string usable for grouping constant cells; for
 // expression cells it is the canonical expression rendering.
 func (c Cell) Key() string {
+	var b strings.Builder
+	c.appendKey(&b)
+	return b.String()
+}
+
+// appendKey writes Key to b without the intermediate allocations.
+func (c Cell) appendKey(b *strings.Builder) {
 	switch c.kind {
 	case KindValue:
-		return "v:" + c.v.String()
+		b.WriteString("v:")
+		b.WriteString(c.v.String())
 	case KindString:
-		return "s:" + c.s
+		b.WriteString("s:")
+		b.WriteString(c.s)
 	default:
-		return "e:" + expr.String(c.e)
+		b.WriteString("e:")
+		b.WriteString(expr.String(c.e))
 	}
 }
 

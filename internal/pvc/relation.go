@@ -20,11 +20,14 @@ type Tuple struct {
 
 // Key returns a canonical grouping key over all cells (not the annotation).
 func (t Tuple) Key() string {
-	parts := make([]string, len(t.Cells))
+	var b strings.Builder
 	for i, c := range t.Cells {
-		parts[i] = c.Key()
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		c.appendKey(&b)
 	}
-	return strings.Join(parts, "\x1f")
+	return b.String()
 }
 
 // Relation is a pvc-table: a schema and a list of annotated tuples.
@@ -71,7 +74,25 @@ func (r *Relation) Len() int { return len(r.Tuples) }
 
 // Sort orders tuples by their cell keys, making output deterministic.
 func (r *Relation) Sort() {
-	sort.SliceStable(r.Tuples, func(i, j int) bool { return r.Tuples[i].Key() < r.Tuples[j].Key() })
+	// Decorate-sort-undecorate: each tuple's key is built once, not at
+	// every comparison.
+	s := tupleSorter{tuples: r.Tuples, keys: make([]string, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		s.keys[i] = t.Key()
+	}
+	sort.Stable(s)
+}
+
+type tupleSorter struct {
+	tuples []Tuple
+	keys   []string
+}
+
+func (s tupleSorter) Len() int           { return len(s.tuples) }
+func (s tupleSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s tupleSorter) Swap(i, j int) {
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // Clone returns a deep-enough copy (cells and annotations are immutable).

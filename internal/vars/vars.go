@@ -13,17 +13,23 @@ import (
 	"pvcagg/internal/value"
 )
 
+// ID is the dense interned identity of a variable (see expr.Intern).
+type ID = expr.VarID
+
 // Registry maps variable names to their probability distributions. It is
 // the concrete X of the paper; all expressions over a registry share its
-// induced probability space.
+// induced probability space. Distributions are stored in a slice indexed
+// by the interned variable ID, so the compilation hot path (Shannon
+// expansion, pruning bounds) resolves a variable with one slice load
+// instead of a string-keyed map lookup.
 type Registry struct {
-	dists map[string]prob.Dist
-	order []string // insertion order, for deterministic enumeration
+	byID  []prob.Dist // indexed by ID; Size() == 0 ⇒ undeclared
+	order []ID        // insertion order, for deterministic enumeration
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{dists: map[string]prob.Dist{}}
+	return &Registry{}
 }
 
 // Declare registers variable x with distribution d. Re-declaring a
@@ -32,10 +38,17 @@ func (r *Registry) Declare(x string, d prob.Dist) {
 	if d.Size() == 0 {
 		panic(fmt.Sprintf("vars: variable %q declared with empty distribution", x))
 	}
-	if _, ok := r.dists[x]; !ok {
-		r.order = append(r.order, x)
+	id := expr.Intern(x)
+	if int(id) >= len(r.byID) {
+		// Extend via append so growth amortises (fresh-variable-per-tuple
+		// loaders declare densely increasing IDs; exact-fit reallocation
+		// would copy the slice on every declaration).
+		r.byID = append(r.byID, make([]prob.Dist, int(id)+1-len(r.byID))...)
 	}
-	r.dists[x] = d
+	if r.byID[id].Size() == 0 {
+		r.order = append(r.order, id)
+	}
+	r.byID[id] = d
 }
 
 // DeclareBool registers a Boolean variable with P[⊤] = p.
@@ -45,11 +58,18 @@ func (r *Registry) DeclareBool(x string, p float64) {
 
 // Dist returns the distribution of x.
 func (r *Registry) Dist(x string) (prob.Dist, error) {
-	d, ok := r.dists[x]
-	if !ok {
-		return prob.Dist{}, fmt.Errorf("vars: undeclared variable %q", x)
+	return r.DistByID(expr.Intern(x))
+}
+
+// DistByID returns the distribution of the variable with interned ID id —
+// the hot-path form of Dist.
+func (r *Registry) DistByID(id ID) (prob.Dist, error) {
+	if int(id) < len(r.byID) {
+		if d := r.byID[id]; d.Size() > 0 {
+			return d, nil
+		}
 	}
-	return d, nil
+	return prob.Dist{}, fmt.Errorf("vars: undeclared variable %q", expr.VarName(id))
 }
 
 // MustDist is Dist for variables known to be declared.
@@ -63,28 +83,43 @@ func (r *Registry) MustDist(x string) prob.Dist {
 
 // Has reports whether x is declared.
 func (r *Registry) Has(x string) bool {
-	_, ok := r.dists[x]
-	return ok
+	return r.HasID(expr.Intern(x))
+}
+
+// HasID reports whether the variable with interned ID id is declared.
+func (r *Registry) HasID(id ID) bool {
+	return int(id) < len(r.byID) && r.byID[id].Size() > 0
 }
 
 // Names returns all declared variables in declaration order.
 func (r *Registry) Names() []string {
 	out := make([]string, len(r.order))
-	copy(out, r.order)
+	for i, id := range r.order {
+		out[i] = expr.VarName(id)
+	}
 	return out
 }
 
 // Len returns the number of declared variables.
 func (r *Registry) Len() int { return len(r.order) }
 
-// CheckDeclared verifies that every variable of e is declared.
+// CheckDeclared verifies that every variable of e is declared. The walk
+// uses interned IDs and a reusable set, so it costs one pass over e with
+// no per-variable allocation.
 func (r *Registry) CheckDeclared(e expr.Expr) error {
-	for _, x := range expr.Vars(e) {
-		if !r.Has(x) {
-			return fmt.Errorf("vars: expression uses undeclared variable %q", x)
+	var s expr.VarSet
+	expr.CollectVarsInto(e, &s)
+	var undeclared []string
+	for _, id := range s.Touched() {
+		if !r.HasID(id) {
+			undeclared = append(undeclared, expr.VarName(id))
 		}
 	}
-	return nil
+	if len(undeclared) == 0 {
+		return nil
+	}
+	sort.Strings(undeclared)
+	return fmt.Errorf("vars: expression uses undeclared variable %q", undeclared[0])
 }
 
 // Fresh returns a variable name of the form prefix#n that is not yet
@@ -106,10 +141,10 @@ func (r *Registry) Fresh(prefix string, d prob.Dist) string {
 // MIN/MAX semimodule expressions over N-valued variables.
 func (r *Registry) ReduceToBoolean() *Registry {
 	out := NewRegistry()
-	for _, x := range r.order {
-		d := r.dists[x]
+	for _, id := range r.order {
+		d := r.byID[id]
 		p0 := d.P(value.Int(0))
-		out.Declare(x, prob.FromPairs([]prob.Pair{
+		out.Declare(expr.VarName(id), prob.FromPairs([]prob.Pair{
 			{V: value.Bool(false), P: p0},
 			{V: value.Bool(true), P: 1 - p0},
 		}))
@@ -178,11 +213,10 @@ func (r *Registry) Sample(variables []string, rng *rand.Rand) (expr.Valuation, e
 func (r *Registry) WorldCount(variables []string) int {
 	n := 1
 	for _, x := range variables {
-		d, ok := r.dists[x]
-		if !ok {
+		if !r.Has(x) {
 			continue
 		}
-		n *= d.Size()
+		n *= r.MustDist(x).Size()
 		if n < 0 || n > 1<<40 {
 			return 1 << 40
 		}

@@ -82,6 +82,34 @@
 // RunParallelWithOptions, RunApprox, ProbabilitiesParallel,
 // ProbabilitiesApprox, Approximate) remain as deprecated wrappers that
 // delegate to Exec; see the README for the migration table.
+//
+// # Performance
+//
+// The probability pipeline is built for constant-factor speed without
+// changing semantics: variable names intern into dense IDs
+// (slice-indexed registry, ID-based Shannon substitution), the compilers
+// memoise sub-expressions on cached structural hashes rather than
+// canonical strings, and the distribution kernels exploit the
+// value-sorted representation (dense-window convolution, k-way-merge
+// mixtures, prefix-mass comparisons in O(|a|+|b|)). Two knobs matter to
+// callers:
+//
+//   - CompileOptions.DisableMemo ablates sub-expression memoisation
+//     (and with it the structural-hash machinery) inside one compile.
+//   - WithSharedCache(true) adds a cross-tuple cache shared by the whole
+//     execution: a bounded, shard-striped table of compiled d-tree nodes
+//     and their distributions keyed by structural hash, so tuples that
+//     repeat sub-expressions compile and evaluate them once. Hit/miss
+//     counters surface in Result.Report.SharedCache. It is off by
+//     default so per-tuple cost reports describe each tuple's own work.
+//
+// Memoisation, interning and the shared cache are exact (bit-for-bit);
+// of the kernels, Convolve/Map/Mixture accumulate in the reference
+// kernels' exact order while CmpConvolve regroups its summation and may
+// differ from the historical implementation in the final ulp.
+//
+// The README's "Performance" section describes the design; BENCH_exec.json
+// records the measured trajectory across PRs.
 package pvcagg
 
 import (

@@ -1,0 +1,187 @@
+package pvcagg_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pvcagg"
+)
+
+// Tests for the WithSharedCache exec option: the cross-tuple compilation
+// cache must leave every probability and distribution bit-for-bit
+// unchanged while surfacing its hit/miss counters in Result.Report.
+
+func TestExecSharedCacheBitForBit(t *testing.T) {
+	db, plan := execTestDB(t)
+	_, ref := collect(t, db, plan, pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))
+	for _, par := range []int{1, 4} {
+		res, got := collect(t, db, plan,
+			pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(par), pvcagg.WithSharedCache(true))
+		if len(got) != len(ref) {
+			t.Fatalf("par=%d: %d outcomes, want %d", par, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].Confidence != ref[i].Confidence {
+				t.Errorf("par=%d tuple %d: confidence %v != %v (want bit-for-bit)", par, i, got[i].Confidence, ref[i].Confidence)
+			}
+			for j := range got[i].AggDists {
+				if !got[i].AggDists[j].Equal(ref[i].AggDists[j], 0) {
+					t.Errorf("par=%d tuple %d agg %d: %v != %v", par, i, j, got[i].AggDists[j], ref[i].AggDists[j])
+				}
+			}
+		}
+		st := res.Report.SharedCache
+		if st.Hits+st.Misses == 0 {
+			t.Errorf("par=%d: shared cache saw no lookups", par)
+		}
+		if st.Entries == 0 {
+			t.Errorf("par=%d: shared cache stored nothing", par)
+		}
+	}
+
+	// Disabled (the default): Report stays zero.
+	res, _ := collect(t, db, plan, pvcagg.WithMode(pvcagg.Exact))
+	if res.Report.SharedCache != (pvcagg.CacheStats{}) {
+		t.Errorf("cache disabled but Report.SharedCache = %+v", res.Report.SharedCache)
+	}
+}
+
+// sharedAnnotationTable builds the workload the cross-tuple cache is for:
+// a pvc-table whose tuples all multiply a private presence variable into
+// one common hard comparison — the shape of a selection pushed through a
+// shared dimension sub-query. Without the cache, every tuple recompiles
+// the comparison from scratch.
+func sharedAnnotationTable(t testing.TB, n int) (*pvcagg.Database, *pvcagg.Relation) {
+	t.Helper()
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	for i := 0; i < 6; i++ {
+		db.Registry.DeclareBool(fmt.Sprintf("c%d", i), 0.5)
+	}
+	rel := pvcagg.NewRelation("R", pvcagg.Schema{{Name: "id", Type: pvcagg.TValue}})
+	common := "[min(c0*c1 @min 3, c2*c3 @min 5, c4*c5 @min 7) <= 5]"
+	for i := 0; i < n; i++ {
+		v := fmt.Sprintf("t%d", i)
+		db.Registry.DeclareBool(v, 0.5)
+		rel.MustInsert(pvcagg.MustParseExpr(v+"*"+common), pvcagg.IntCell(int64(i)))
+	}
+	db.Add(rel)
+	rel.Sort()
+	return db, rel
+}
+
+// TestExecSharedCacheCrossTuple: on a table whose tuples share their
+// selection comparison, the cache hits across tuples and keeps every
+// confidence bit-for-bit.
+func TestExecSharedCacheCrossTuple(t *testing.T) {
+	db, rel := sharedAnnotationTable(t, 24)
+	run := func(opts ...pvcagg.Option) (*pvcagg.Result, []pvcagg.TupleOutcome) {
+		res, err := pvcagg.ExecTable(context.Background(), db, rel,
+			append([]pvcagg.Option{pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := res.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, outs
+	}
+	_, ref := run()
+	res, got := run(pvcagg.WithSharedCache(true))
+	for i := range got {
+		if got[i].Confidence != ref[i].Confidence {
+			t.Errorf("tuple %d: confidence %v != %v", i, got[i].Confidence, ref[i].Confidence)
+		}
+	}
+	st := res.Report.SharedCache
+	if st.Hits == 0 {
+		t.Error("no cross-tuple cache hits on the shared-annotation table")
+	}
+	if st.DistHits == 0 {
+		t.Error("no evaluator distribution-cache hits")
+	}
+	if st.HitRate() <= 0 {
+		t.Error("hit rate not positive")
+	}
+	t.Logf("shared-annotation table: hits=%d misses=%d rate=%.2f distHits=%d",
+		st.Hits, st.Misses, st.HitRate(), st.DistHits)
+}
+
+// TestExecSharedCacheAnytime: the cache also serves the anytime engine's
+// exact leaf closures; bounds stay sound and the aggregation columns stay
+// bit-for-bit.
+func TestExecSharedCacheAnytime(t *testing.T) {
+	db, plan := execTestDB(t)
+	_, ref := collect(t, db, plan, pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithEps(0.05), pvcagg.WithParallelism(1))
+	res, got := collect(t, db, plan,
+		pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithEps(0.05), pvcagg.WithParallelism(1), pvcagg.WithSharedCache(true))
+	for i := range got {
+		w := got[i].Confidence.Width()
+		if w > 0.05+1e-12 {
+			t.Errorf("tuple %d: width %v exceeds eps under shared cache", i, w)
+		}
+		// Sound bounds must overlap the reference interval.
+		if got[i].Confidence.Hi < ref[i].Confidence.Lo-1e-12 || got[i].Confidence.Lo > ref[i].Confidence.Hi+1e-12 {
+			t.Errorf("tuple %d: bounds %v disjoint from reference %v", i, got[i].Confidence, ref[i].Confidence)
+		}
+		for j := range got[i].AggDists {
+			if !got[i].AggDists[j].Equal(ref[i].AggDists[j], 0) {
+				t.Errorf("tuple %d agg %d differs under shared cache", i, j)
+			}
+		}
+	}
+	if res.Report.SharedCache.Hits+res.Report.SharedCache.Misses == 0 {
+		t.Error("anytime run never consulted the shared cache")
+	}
+}
+
+// TestExecSharedCacheStream: Report is populated after a drained stream.
+func TestExecSharedCacheStream(t *testing.T) {
+	db, plan := execTestDB(t)
+	res, err := pvcagg.Exec(context.Background(), db, plan,
+		pvcagg.WithMode(pvcagg.Exact), pvcagg.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range res.Results() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("stream yielded nothing")
+	}
+	if res.Report.SharedCache.Hits+res.Report.SharedCache.Misses == 0 {
+		t.Error("Report.SharedCache not populated after stream")
+	}
+}
+
+// TestExecExprSharedCache: the option also engages (and reports) on bare
+// expressions.
+func TestExecExprSharedCache(t *testing.T) {
+	reg := pvcagg.NewRegistry()
+	reg.DeclareBool("ex_a", 0.5)
+	reg.DeclareBool("ex_b", 0.5)
+	e := pvcagg.MustParseExpr("[min(ex_a*ex_b @min 3, ex_b @min 5) <= 4]")
+	ref, err := pvcagg.ExecExpr(context.Background(), e, reg, pvcagg.Boolean, pvcagg.WithMode(pvcagg.Exact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pvcagg.ExecExpr(context.Background(), e, reg, pvcagg.Boolean,
+		pvcagg.WithMode(pvcagg.Exact), pvcagg.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Confidence != ref.Confidence {
+		t.Errorf("confidence %v != %v under shared cache", got.Confidence, ref.Confidence)
+	}
+	if got.SharedCache.Hits+got.SharedCache.Misses == 0 {
+		t.Error("ExecExpr shared cache saw no lookups")
+	}
+	if ref.SharedCache != (pvcagg.CacheStats{}) {
+		t.Errorf("cache disabled but ExprResult.SharedCache = %+v", ref.SharedCache)
+	}
+}
