@@ -589,6 +589,55 @@ func BenchmarkExec(b *testing.B) {
 	}
 }
 
+// tpchQ1PVQLBench is TPC-H Q1 as PVQL text, the workload of
+// BenchmarkExecQuery.
+const tpchQ1PVQLBench = `SELECT l_returnflag, l_linestatus, COUNT(*) AS count_order
+  FROM lineitem WHERE l_shipdate <= 1200 GROUP BY l_returnflag, l_linestatus`
+
+// execQueryBenchCases builds the PVQL frontend workloads: compile-only
+// (parse + bind + optimize) and the full parse+optimize+run path, so the
+// frontend's overhead is tracked alongside engine performance.
+func execQueryBenchCases(sf float64) ([]execBenchCase, error) {
+	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
+	if err != nil {
+		return nil, err
+	}
+	return []execBenchCase{
+		{"compile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pvcagg.ParseQuery(db, tpchQ1PVQLBench); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"exact/seq", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pvcagg.ExecQuery(context.Background(), db, tpchQ1PVQLBench,
+					pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}, nil
+}
+
+// BenchmarkExecQuery: the PVQL frontend (parse + optimize + run) on
+// TPC-H Q1; compare with BenchmarkExec/exact/seq for the frontend
+// overhead.
+func BenchmarkExecQuery(b *testing.B) {
+	cases, err := execQueryBenchCases(0.0005)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		b.Run(c.name, c.fn)
+	}
+}
+
 // TestEmitBenchJSON runs the Exec benchmark family through
 // testing.Benchmark and writes the measurements to the file named by
 // -benchjson (skipped when the flag is unset), so CI and scripts can
@@ -601,17 +650,25 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	records := make([]benchx.BenchRecord, 0, len(cases))
-	for _, c := range cases {
-		r := testing.Benchmark(c.fn)
-		records = append(records, benchx.BenchRecord{
-			Name:        "Exec/" + c.name,
-			N:           r.N,
-			NsPerOp:     float64(r.NsPerOp()),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+	queryCases, err := execQueryBenchCases(0.0005)
+	if err != nil {
+		t.Fatal(err)
 	}
+	records := make([]benchx.BenchRecord, 0, len(cases)+len(queryCases))
+	emit := func(prefix string, cs []execBenchCase) {
+		for _, c := range cs {
+			r := testing.Benchmark(c.fn)
+			records = append(records, benchx.BenchRecord{
+				Name:        prefix + c.name,
+				N:           r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+		}
+	}
+	emit("Exec/", cases)
+	emit("ExecQuery/", queryCases)
 	if err := benchx.WriteBenchJSON(*benchJSONPath, records); err != nil {
 		t.Fatal(err)
 	}

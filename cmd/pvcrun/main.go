@@ -1,7 +1,8 @@
 // Command pvcrun evaluates the paper's running-example queries (Figure 1)
-// or the TPC-H experiment queries on generated data, printing the result
-// pvc-table with annotations, the tractability classification, the chosen
-// execution strategy, and the probability of every answer tuple.
+// or the TPC-H experiment queries on generated data — or any PVQL query
+// you type — printing the result pvc-table with annotations, the
+// tractability classification, the chosen execution strategy, and the
+// probability of every answer tuple.
 //
 // Usage:
 //
@@ -10,17 +11,29 @@
 //	pvcrun -demo tpch  -sf 0.001 -parallel 0   # parallel probability step (GOMAXPROCS)
 //	pvcrun -demo shop  -mode anytime -eps 0.01 # anytime bounds of width ≤ 0.01
 //	pvcrun -demo shop  -mode auto              # Classify routes each query
+//	pvcrun -demo shop  -mode sample -seed 42   # seeded Monte Carlo estimation
 //	pvcrun -demo tpch  -timeout 5s             # cancel runaway compilations
 //
-// Ctrl-C cancels the in-flight compilations cleanly.
+//	# one PVQL query against the demo database:
+//	pvcrun -demo shop -query "SELECT shop, COUNT(*) AS n FROM S GROUP BY shop"
+//
+//	# interactive PVQL REPL over the demo database:
+//	pvcrun -demo shop -repl
+//
+// The sample mode requires -seed: the engine has no ambient randomness,
+// so every estimate is reproducible from the logged seed. Ctrl-C cancels
+// the in-flight compilations cleanly.
 package main
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"pvcagg"
@@ -33,31 +46,56 @@ func main() {
 		p        = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
 		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
 		parallel = flag.Int("parallel", 1, "probability-step parallelism (0 = GOMAXPROCS, 1 = sequential)")
-		mode     = flag.String("mode", "auto", "execution strategy: auto, exact or anytime")
+		mode     = flag.String("mode", "auto", "execution strategy: auto, exact, anytime or sample")
 		eps      = flag.Float64("eps", 0, "anytime confidence-bound width (anytime/auto modes)")
+		seed     = flag.Int64("seed", 0, "Monte Carlo seed (required by -mode sample; estimates are reproducible from it)")
 		timeout  = flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
+		query    = flag.String("query", "", "run one PVQL query against the demo database and exit")
+		repl     = flag.Bool("repl", false, "interactive PVQL prompt over the demo database")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts, err := execOptions(*mode, *eps, *parallel, *timeout)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	opts, err := execOptions(*mode, *eps, *parallel, *timeout, *seed, seedSet)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pvcrun:", err)
 		os.Exit(2)
 	}
+	var db *pvcagg.Database
 	switch *demo {
 	case "shop":
-		runShop(ctx, *p, opts)
+		db = shopDB(*p)
 	case "tpch":
-		runTPCH(ctx, *sf, opts)
+		db, err = tpch.Generate(tpch.Config{SF: *sf, Seed: 1, Probabilistic: true})
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
 		os.Exit(2)
 	}
+	switch {
+	case *query != "":
+		if err := runQuery(ctx, db, *query, opts, true); err != nil {
+			fatal(err)
+		}
+	case *repl:
+		runREPL(ctx, db, opts)
+	case *demo == "shop":
+		runShop(ctx, db, opts)
+	default:
+		runTPCH(ctx, db, opts)
+	}
 }
 
 // execOptions translates the flags into Exec options.
-func execOptions(mode string, eps float64, parallel int, timeout time.Duration) ([]pvcagg.Option, error) {
+func execOptions(mode string, eps float64, parallel int, timeout time.Duration, seed int64, seedSet bool) ([]pvcagg.Option, error) {
 	opts := []pvcagg.Option{pvcagg.WithParallelism(parallel)}
 	switch mode {
 	case "auto":
@@ -66,8 +104,16 @@ func execOptions(mode string, eps float64, parallel int, timeout time.Duration) 
 		opts = append(opts, pvcagg.WithMode(pvcagg.Exact))
 	case "anytime":
 		opts = append(opts, pvcagg.WithMode(pvcagg.Anytime))
+	case "sample":
+		if !seedSet {
+			return nil, errors.New("-mode sample requires an explicit -seed (no ambient randomness; estimates must be reproducible)")
+		}
+		opts = append(opts, pvcagg.WithMode(pvcagg.Sample), pvcagg.WithSeed(seed))
 	default:
-		return nil, fmt.Errorf("unknown mode %q (want auto, exact or anytime)", mode)
+		return nil, fmt.Errorf("unknown mode %q (want auto, exact, anytime or sample)", mode)
+	}
+	if seedSet && mode != "sample" {
+		return nil, fmt.Errorf("-seed only applies to -mode sample (mode %q has no sampling step)", mode)
 	}
 	if eps > 0 {
 		opts = append(opts, pvcagg.WithEps(eps))
@@ -76,6 +122,79 @@ func execOptions(mode string, eps float64, parallel int, timeout time.Duration) 
 		opts = append(opts, pvcagg.WithTimeout(timeout))
 	}
 	return opts, nil
+}
+
+// runQuery compiles and executes one PVQL query, printing the optimized
+// plan, its classification, the strategy and every answer.
+func runQuery(ctx context.Context, db *pvcagg.Database, src string, opts []pvcagg.Option, verbose bool) error {
+	plan, err := pvcagg.ParseQuery(db, src)
+	if err != nil {
+		var qe *pvcagg.QueryError
+		if errors.As(err, &qe) {
+			return fmt.Errorf("%s", qe.Render(src))
+		}
+		return err
+	}
+	fmt.Printf("   plan: %s\n", plan)
+	fmt.Printf("   class: %v\n", pvcagg.Classify(plan, db))
+	res, err := pvcagg.Exec(ctx, db, plan, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   strategy: %v\n", res.Strategy)
+	if err := printResult(res, verbose); err != nil {
+		return err
+	}
+	fmt.Printf("   %d answer tuples; ⟦·⟧ %v, P(·) %v\n", res.Len(), res.Timing.Construct, res.Timing.Probability)
+	return nil
+}
+
+// runREPL reads PVQL queries from stdin, one per line, until EOF or \q.
+func runREPL(ctx context.Context, db *pvcagg.Database, opts []pvcagg.Option) {
+	fmt.Println("PVQL interactive shell — one query per line.")
+	fmt.Println(`  \t lists tables, \q quits. Example: SELECT * FROM ` + firstTable(db))
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("pvql> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\t`:
+			for _, name := range db.Names() {
+				rel, err := db.Relation(name)
+				if err != nil {
+					continue
+				}
+				cols := make([]string, len(rel.Schema))
+				for i, c := range rel.Schema {
+					cols[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
+				}
+				fmt.Printf("  %s(%s) — %d tuples\n", name, strings.Join(cols, ", "), rel.Len())
+			}
+			continue
+		}
+		if err := runQuery(ctx, db, line, opts, true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func firstTable(db *pvcagg.Database) string {
+	if names := db.Names(); len(names) > 0 {
+		return names[0]
+	}
+	return "R"
 }
 
 // confString renders an exact confidence as a number and anytime bounds as
@@ -109,8 +228,7 @@ func printResult(res *pvcagg.Result, verbose bool) error {
 	return nil
 }
 
-func runShop(ctx context.Context, p float64, opts []pvcagg.Option) {
-	db := shopDB(p)
+func runShop(ctx context.Context, db *pvcagg.Database, opts []pvcagg.Option) {
 	q1 := &pvcagg.Project{
 		Cols: []string{"shop", "price"},
 		Input: &pvcagg.Join{
@@ -148,11 +266,7 @@ func runShop(ctx context.Context, p float64, opts []pvcagg.Option) {
 	}
 }
 
-func runTPCH(ctx context.Context, sf float64, opts []pvcagg.Option) {
-	db, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
-	if err != nil {
-		fatal(err)
-	}
+func runTPCH(ctx context.Context, db *pvcagg.Database, opts []pvcagg.Option) {
 	for _, q := range []struct {
 		name string
 		plan pvcagg.Plan

@@ -66,4 +66,33 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("enumeration agrees:", sumRes.Dist.Equal(exact, 1e-12))
+
+	// The same question asked declaratively: put the inventory in a
+	// pvc-table and let PVQL build the plan — the sub-query aggregates,
+	// the outer WHERE is the paper's σ over the aggregated value.
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	stock := pvcagg.NewRelation("stock", pvcagg.Schema{
+		{Name: "site", Type: pvcagg.TString},
+		{Name: "units", Type: pvcagg.TValue},
+	})
+	for _, row := range []struct {
+		site  string
+		p     float64
+		units int64
+	}{{"warehouse_a", 0.9, 50}, {"warehouse_b", 0.6, 40}, {"warehouse_c", 0.3, 80}} {
+		if _, err := db.InsertIndependent(stock, row.p, pvcagg.StringCell(row.site), pvcagg.IntCell(row.units)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Add(stock)
+	qres, err := pvcagg.ExecQuery(ctx, db,
+		"SELECT * FROM (SELECT SUM(units) AS total FROM stock) WHERE total <= 120")
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs, err := qres.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPVQL: P[total ≤ 120] = %.4f (strategy %v)\n", outs[0].Confidence.Lo, qres.Strategy)
 }

@@ -103,6 +103,32 @@ func main() {
 	for _, o := range joint {
 		fmt.Printf("  P[quorum=%s, n=%s] = %.4f\n", o.Values[0], o.Values[1], o.P)
 	}
+
+	// The fire-alarm question again, declaratively: the readings become a
+	// pvc-table and PVQL asks for the MAX — the optimizer prunes the
+	// unused room column before aggregating.
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	readings := pvcagg.NewRelation("readings", pvcagg.Schema{
+		{Name: "room", Type: pvcagg.TString},
+		{Name: "temp", Type: pvcagg.TValue},
+	})
+	for _, s := range sensors {
+		if _, err := db.InsertIndependent(readings, s.arrival, pvcagg.StringCell(s.name), pvcagg.IntCell(s.temp)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Add(readings)
+	qres, err := pvcagg.ExecQuery(ctx, db,
+		"SELECT * FROM (SELECT MAX(temp) AS hottest FROM readings) WHERE hottest > 35")
+	if err != nil {
+		log.Fatal(err)
+	}
+	outs, err := qres.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPVQL: P[max temperature > 35°C] = %.4f, E[max | reported] via distribution %v\n",
+		outs[0].Confidence.Lo, outs[0].AggDists[0])
 }
 
 // sensor is one uncertain temperature reading: the sensor's message

@@ -70,6 +70,28 @@ func main() {
 		fmt.Printf("  P[%s answers] = %.6g\n", o.Tuple.Cells[0], o.Confidence.Lo)
 	}
 
+	// The same Q2 in PVQL: the declarative frontend parses, binds and
+	// optimizes the query down to the identical plan, so the answers are
+	// bit-for-bit the ones above.
+	const q2pvql = `
+	  SELECT shop FROM (
+	    SELECT shop, MAX(price) AS P FROM (
+	      SELECT shop, price FROM S JOIN PS JOIN (SELECT * FROM P1 UNION SELECT * FROM P2)
+	    ) GROUP BY shop
+	  ) WHERE P <= 50`
+	fmt.Println("\nQ2 in PVQL:")
+	qres, err := pvcagg.ExecQuery(ctx, db, q2pvql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qouts, err := qres.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range qouts {
+		fmt.Printf("  P[%s answers] = %.6g\n", o.Tuple.Cells[0], o.Confidence.Lo)
+	}
+
 	// Example 9's variant Q2′ with MIN instead of MAX.
 	q2prime := &pvcagg.Project{
 		Cols: []string{"shop"},

@@ -49,6 +49,28 @@ func main() {
 	}
 	fmt.Printf("  construction ⟦·⟧ %v, probability P(·) %v\n\n", res.Timing.Construct, res.Timing.Probability)
 
+	// The same Q1 in PVQL: ExecQuery parses, binds and optimizes the text
+	// into the identical plan (the optimizer additionally prunes the
+	// lineitem columns Q1 never reads), producing bit-identical answers.
+	fmt.Println("TPC-H Q1 in PVQL:")
+	qres, err := pvcagg.ExecQuery(ctx, db, `
+	  SELECT l_returnflag, l_linestatus, COUNT(*) AS count_order
+	  FROM lineitem
+	  WHERE l_shipdate <= 1200
+	  GROUP BY l_returnflag, l_linestatus`, pvcagg.WithMode(pvcagg.Exact))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qouts, err := qres.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range qouts {
+		fmt.Printf("  %s/%s: P[group] = %.4f, E[count] = %.1f\n",
+			o.Tuple.Cells[0], o.Tuple.Cells[1], o.Confidence.Lo, o.AggDists[0].Expectation())
+	}
+	fmt.Println()
+
 	// Q2: minimum-cost suppliers for part 1 in AFRICA, with a nested
 	// aggregation sub-query; Auto mode lets Classify pick the engine.
 	fmt.Println("TPC-H Q2 (nested MIN over a 5-way join):")

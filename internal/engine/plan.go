@@ -51,6 +51,16 @@ type Project struct {
 	Cols  []string
 }
 
+// Prune keeps only the named columns, in the given order, WITHOUT
+// collapsing duplicate tuples (π̂). Unlike the paper's π it never sums
+// annotations — every input tuple survives with its annotation untouched
+// — so it is always probability-preserving and the optimizer inserts it
+// freely to drop dead columns early. It may keep aggregation columns.
+type Prune struct {
+	Input Plan
+	Cols  []string
+}
+
 // Product is the cross product (×); column names must be disjoint.
 type Product struct{ L, R Plan }
 
@@ -87,6 +97,9 @@ func (p *Rename) String() string {
 func (p *Select) String() string { return fmt.Sprintf("σ[%s](%s)", p.Pred, p.Input) }
 func (p *Project) String() string {
 	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Cols, ","), p.Input)
+}
+func (p *Prune) String() string {
+	return fmt.Sprintf("π̂[%s](%s)", strings.Join(p.Cols, ","), p.Input)
 }
 func (p *Product) String() string { return fmt.Sprintf("(%s × %s)", p.L, p.R) }
 func (p *Join) String() string    { return fmt.Sprintf("(%s ⋈ %s)", p.L, p.R) }
@@ -131,12 +144,22 @@ func (p Pred) String() string {
 	parts := make([]string, len(p.Atoms))
 	for i, a := range p.Atoms {
 		if a.RightVal != nil {
-			parts[i] = fmt.Sprintf("%s%s%s", a.Left, a.Th, a.RightVal)
+			parts[i] = fmt.Sprintf("%s%s%s", a.Left, a.Th, cellLiteral(*a.RightVal))
 		} else {
 			parts[i] = fmt.Sprintf("%s%s%s", a.Left, a.Th, a.RightCol)
 		}
 	}
 	return strings.Join(parts, "∧")
+}
+
+// cellLiteral renders a constant cell so the rendering stays parseable
+// (pvql.ParsePlan): string constants are single-quoted with ” escaping,
+// distinguishing them from column names; values render bare.
+func cellLiteral(c pvc.Cell) string {
+	if c.Kind() == pvc.KindString {
+		return "'" + strings.ReplaceAll(c.Str(), "'", "''") + "'"
+	}
+	return c.String()
 }
 
 // Eval implementations.
@@ -299,6 +322,33 @@ func (p *Project) Eval(db *pvc.Database) (*pvc.Relation, error) {
 	for _, key := range order {
 		ann := expr.Simplify(expr.Sum(groupAnns[key]...), s)
 		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: groupCells[key], Ann: ann})
+	}
+	return out, nil
+}
+
+func (p *Prune) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(p.Cols))
+	schema := make(pvc.Schema, len(p.Cols))
+	for i, c := range p.Cols {
+		j := in.Schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: π̂: unknown column %q", c)
+		}
+		idx[i] = j
+		schema[i] = in.Schema[j]
+	}
+	out := pvc.NewRelation(fmt.Sprintf("π̂(%s)", in.Name), schema)
+	out.Tuples = make([]pvc.Tuple, 0, len(in.Tuples))
+	for _, t := range in.Tuples {
+		cells := make([]pvc.Cell, len(idx))
+		for i, j := range idx {
+			cells[i] = t.Cells[j]
+		}
+		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: cells, Ann: t.Ann})
 	}
 	return out, nil
 }

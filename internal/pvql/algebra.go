@@ -1,0 +1,386 @@
+package pvql
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// ParsePlan parses the algebra rendering produced by engine.Plan.String
+// back into a plan, pinning the rendering and this grammar to each other
+// (the round-trip property test in pvql/opt asserts
+// ParsePlan(p.String()).String() == p.String() for optimizer output).
+//
+//	δ[to←from](P)  σ[a<=5∧b=c](P)  π[a,b](P)  π̂[a,b](P)
+//	(P × Q)  (P ⋈ Q)  (P ∪ Q)  $[g;out←AGG(over)](P)  table
+//
+// Printable subset: every plan whose relation and column names are
+// identifiers (letters, digits, underscores) and whose selection
+// constants are numeric values or strings (string constants render
+// single-quoted with ” escaping). Selection constants holding semimodule
+// expression cells — expressible in Go, never produced by the PVQL
+// binder or optimizer — are outside the subset and fail to re-parse.
+func ParsePlan(src string) (engine.Plan, error) {
+	p := &planParser{in: src}
+	p.skipSpace()
+	plan, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, errf(p.pos, len(p.in), "unexpected trailing input %q", p.in[p.pos:])
+	}
+	return plan, nil
+}
+
+type planParser struct {
+	in  string
+	pos int
+}
+
+func (p *planParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+// eat consumes the literal s (which may be multi-byte) if present.
+func (p *planParser) eat(s string) bool {
+	if strings.HasPrefix(p.in[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *planParser) expect(s string) error {
+	if !p.eat(s) {
+		return errf(p.pos, p.pos+1, "expected %q", s)
+	}
+	return nil
+}
+
+func (p *planParser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) {
+		r, size := utf8.DecodeRuneInString(p.in[p.pos:])
+		if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+			p.pos += size
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", errf(start, start+1, "expected an identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *planParser) parse() (engine.Plan, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("δ["):
+		to, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("←"); err != nil {
+			return nil, err
+		}
+		from, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parenPlan()
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Rename{Input: in, From: from, To: to}, nil
+	case p.eat("σ["):
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		in, err := p.parenPlan()
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Select{Input: in, Pred: pred}, nil
+	case p.eat("π̂["):
+		cols, err := p.columnList()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parenPlan()
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Prune{Input: in, Cols: cols}, nil
+	case p.eat("π["):
+		cols, err := p.columnList()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parenPlan()
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Project{Input: in, Cols: cols}, nil
+	case p.eat("$["):
+		return p.parseGroupAgg()
+	case p.eat("("):
+		l, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		var kind string
+		for _, op := range []string{"×", "⋈", "∪"} {
+			if p.eat(op) {
+				kind = op
+				break
+			}
+		}
+		if kind == "" {
+			return nil, errf(p.pos, p.pos+1, "expected ×, ⋈ or ∪")
+		}
+		r, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "×":
+			return &engine.Product{L: l, R: r}, nil
+		case "⋈":
+			return &engine.Join{L: l, R: r}, nil
+		default:
+			return &engine.Union{L: l, R: r}, nil
+		}
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return nil, errf(p.pos, p.pos+1, "expected a plan operator or table name")
+		}
+		return &engine.Scan{Table: name}, nil
+	}
+}
+
+// parenPlan parses "(plan)" — the parentheses a unary operator's
+// rendering puts around its input. A binary input re-parenthesises
+// itself, so "σ[…]((A ⋈ B))" nests naturally.
+func (p *planParser) parenPlan() (engine.Plan, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	plan, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+func (p *planParser) columnList() ([]string, error) {
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.eat(",") {
+			break
+		}
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *planParser) parsePred() (engine.Pred, error) {
+	var pred engine.Pred
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return pred, err
+		}
+		pred.Atoms = append(pred.Atoms, a)
+		if !p.eat("∧") {
+			return pred, nil
+		}
+	}
+}
+
+func (p *planParser) parseAtom() (engine.Atom, error) {
+	var atom engine.Atom
+	left, err := p.ident()
+	if err != nil {
+		return atom, err
+	}
+	atom.Left = left
+	// Longest-match the operator spellings.
+	var th value.Theta
+	switch {
+	case p.eat("!="), p.eat("<>"):
+		th = value.NE
+	case p.eat("<="):
+		th = value.LE
+	case p.eat(">="):
+		th = value.GE
+	case p.eat("="):
+		th = value.EQ
+	case p.eat("<"):
+		th = value.LT
+	case p.eat(">"):
+		th = value.GT
+	default:
+		return atom, errf(p.pos, p.pos+1, "expected a comparison operator")
+	}
+	atom.Th = th
+	switch {
+	case p.pos < len(p.in) && p.in[p.pos] == '\'':
+		s, err := p.quoted()
+		if err != nil {
+			return atom, err
+		}
+		c := pvc.StringCell(s)
+		atom.RightVal = &c
+		return atom, nil
+	case p.pos < len(p.in) && (isDigit(p.in[p.pos]) || p.in[p.pos] == '-' || p.in[p.pos] == '+'):
+		start := p.pos
+		if p.in[p.pos] == '-' || p.in[p.pos] == '+' {
+			p.pos++
+		}
+		for p.pos < len(p.in) && (isDigit(p.in[p.pos]) || (p.in[p.pos] >= 'a' && p.in[p.pos] <= 'z')) {
+			p.pos++ // digits, or the inf suffix of ±inf
+		}
+		v, err := value.Parse(p.in[start:p.pos])
+		if err != nil {
+			return atom, errf(start, p.pos, "bad constant: %v", err)
+		}
+		c := pvc.ValueCell(v)
+		atom.RightVal = &c
+		return atom, nil
+	default:
+		right, err := p.ident()
+		if err != nil {
+			return atom, errf(p.pos, p.pos+1, "expected a column, number or string after %q %s", left, th)
+		}
+		// Bare "inf"/"true"/"false" render from value cells, not columns.
+		switch right {
+		case "inf", "true", "false":
+			v, _ := value.Parse(right)
+			c := pvc.ValueCell(v)
+			atom.RightVal = &c
+		default:
+			atom.RightCol = right
+		}
+		return atom, nil
+	}
+}
+
+// quoted parses a single-quoted string with ” escaping.
+func (p *planParser) quoted() (string, error) {
+	start := p.pos
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.in) {
+		if p.in[p.pos] == '\'' {
+			if p.pos+1 < len(p.in) && p.in[p.pos+1] == '\'' {
+				b.WriteByte('\'')
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(p.in[p.pos])
+		p.pos++
+	}
+	return "", errf(start, len(p.in), "unterminated string constant")
+}
+
+func (p *planParser) parseGroupAgg() (engine.Plan, error) {
+	ga := &engine.GroupAgg{}
+	// Group-by columns up to ';' (may be empty).
+	if !p.eat(";") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ga.GroupBy = append(ga.GroupBy, c)
+			if p.eat(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		out, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("←"); err != nil {
+			return nil, err
+		}
+		fn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		agg, ok := algebra.ParseAgg(fn)
+		if !ok {
+			return nil, errf(p.pos-len(fn), p.pos, "unknown aggregation %q", fn)
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var over string
+		if !p.eat(")") {
+			over, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		ga.Aggs = append(ga.Aggs, engine.AggSpec{Out: out, Agg: agg, Over: over})
+		if p.eat(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	in, err := p.parenPlan()
+	if err != nil {
+		return nil, err
+	}
+	ga.Input = in
+	return ga, nil
+}

@@ -1,0 +1,544 @@
+// Package bind is PVQL's semantic analyzer: it resolves table and column
+// names against a pvc.Database schema, type-checks comparisons, and
+// lowers the positioned AST into a naive engine.Plan — the direct,
+// rewrite-free translation the optimizer (pvql/opt) then improves. Every
+// rejection is a *pvql.Error pointing at the offending source span.
+package bind
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/pvql"
+)
+
+// Bind resolves and lowers a parsed query into a naive Q-algebra plan.
+func Bind(db *pvc.Database, q *pvql.Query) (engine.Plan, error) {
+	plan, _, err := bindQuery(db, q)
+	return plan, err
+}
+
+func errf(pos, end int, format string, args ...any) *pvql.Error {
+	if end < pos {
+		end = pos
+	}
+	return &pvql.Error{Pos: pos, End: end, Msg: fmt.Sprintf(format, args...)}
+}
+
+func bindQuery(db *pvc.Database, q *pvql.Query) (engine.Plan, pvc.Schema, error) {
+	plan, schema, err := bindSelect(db, q.Selects[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range q.Selects[1:] {
+		rplan, rschema, err := bindSelect(db, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		pos, end := s.Span()
+		if !schema.Equal(rschema) {
+			return nil, nil, errf(pos, end,
+				"UNION branches have incompatible schemas: %v vs %v",
+				describeSchema(schema), describeSchema(rschema))
+		}
+		for _, c := range schema {
+			if c.Type == pvc.TModule {
+				return nil, nil, errf(pos, end,
+					"UNION over aggregation column %q (Definition 5 constraint 2: ∪ applies before aggregation)", c.Name)
+			}
+		}
+		plan = &engine.Union{L: plan, R: rplan}
+	}
+	return plan, schema, nil
+}
+
+// source is one bound FROM item: its plan, schema, and the qualifier it
+// answers to (table name or alias).
+type source struct {
+	plan   engine.Plan
+	schema pvc.Schema
+	name   string // qualifier; "" for an unaliased sub-query
+	item   pvql.FromItem
+}
+
+func bindSelect(db *pvc.Database, s *pvql.SelectStmt) (engine.Plan, pvc.Schema, error) {
+	// 1. Bind the FROM sources.
+	sources := make([]source, 0, len(s.From))
+	for _, f := range s.From {
+		src, err := bindFromItem(db, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, prev := range sources {
+			if src.name != "" && prev.name == src.name {
+				return nil, nil, errf(f.Pos, f.End, "duplicate table name or alias %q in FROM", src.name)
+			}
+		}
+		sources = append(sources, src)
+	}
+	// 2. Combine them left to right into one plan.
+	plan, schema := sources[0].plan, sources[0].schema
+	for _, src := range sources[1:] {
+		switch src.item.Combine {
+		case pvql.CombineJoin:
+			shared := 0
+			for _, c := range src.schema {
+				if j := schema.Index(c.Name); j >= 0 {
+					if c.Type == pvc.TModule || schema[j].Type == pvc.TModule {
+						return nil, nil, errf(src.item.Pos, src.item.End,
+							"aggregation column %q cannot be a natural-join key", c.Name)
+					}
+					if c.Type != schema[j].Type {
+						return nil, nil, errf(src.item.Pos, src.item.End,
+							"join column %q has type %s on one side and %s on the other", c.Name, schema[j].Type, c.Type)
+					}
+					shared++
+				}
+			}
+			if shared == 0 {
+				return nil, nil, errf(src.item.Pos, src.item.End,
+					"JOIN with %s shares no columns with the sources before it; use ',' for a cross product", sourceLabel(src))
+			}
+			plan = &engine.Join{L: plan, R: src.plan}
+			for _, c := range src.schema {
+				if schema.Index(c.Name) < 0 {
+					schema = append(schema, c)
+				}
+			}
+		default: // CombineProduct
+			for _, c := range src.schema {
+				if schema.Index(c.Name) >= 0 {
+					return nil, nil, errf(src.item.Pos, src.item.End,
+						"ambiguous column %q: it appears both in %s and in an earlier FROM source; rename one side with AS in a sub-query",
+						c.Name, sourceLabel(src))
+				}
+			}
+			plan = &engine.Product{L: plan, R: src.plan}
+			schema = append(schema.Clone(), src.schema...)
+		}
+	}
+	// 3. WHERE: resolve and type-check each comparison, lower to atoms.
+	if len(s.Where) > 0 {
+		pred, err := bindWhere(s.Where, sources, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan = &engine.Select{Input: plan, Pred: pred}
+	}
+	// 4. Aggregation and the select list.
+	return bindProjection(db, s, plan, schema, sources)
+}
+
+// describeSchema renders a schema as "name type, …" for error messages.
+func describeSchema(s pvc.Schema) string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func sourceLabel(src source) string {
+	if src.name != "" {
+		return fmt.Sprintf("%q", src.name)
+	}
+	return "the sub-query"
+}
+
+func bindFromItem(db *pvc.Database, f pvql.FromItem) (source, error) {
+	if f.Sub != nil {
+		plan, schema, err := bindQuery(db, f.Sub)
+		if err != nil {
+			return source{}, err
+		}
+		return source{plan: plan, schema: schema, name: f.Alias, item: f}, nil
+	}
+	rel, err := db.Relation(f.Table)
+	if err != nil {
+		names := db.Names()
+		return source{}, errf(f.Pos, f.End, "unknown table %q (have %s)", f.Table, strings.Join(names, ", "))
+	}
+	name := f.Alias
+	if name == "" {
+		name = f.Table
+	}
+	return source{plan: &engine.Scan{Table: f.Table}, schema: rel.Schema.Clone(), name: name, item: f}, nil
+}
+
+// resolve maps a column reference to its column in the combined schema.
+func resolve(ref *pvql.ColumnRef, sources []source, schema pvc.Schema) (pvc.Col, error) {
+	if ref.Qualifier != "" {
+		var found *source
+		for i := range sources {
+			if sources[i].name == ref.Qualifier {
+				found = &sources[i]
+				break
+			}
+		}
+		if found == nil {
+			return pvc.Col{}, errf(ref.Pos, ref.End, "unknown table or alias %q", ref.Qualifier)
+		}
+		j := found.schema.Index(ref.Name)
+		if j < 0 {
+			return pvc.Col{}, errf(ref.Pos, ref.End, "unknown column %q in %s (have %s)",
+				ref.Name, ref.Qualifier, strings.Join(found.schema.Names(), ", "))
+		}
+		// The qualified name resolves through the combined schema: after a
+		// natural join the column survives under its plain name.
+		k := schema.Index(ref.Name)
+		if k < 0 {
+			return pvc.Col{}, errf(ref.Pos, ref.End, "column %q of %s is not visible here", ref.Name, ref.Qualifier)
+		}
+		return schema[k], nil
+	}
+	j := schema.Index(ref.Name)
+	if j < 0 {
+		// Count the sources that could have provided it, for a sharper
+		// message on typos vs genuinely missing columns.
+		return pvc.Col{}, errf(ref.Pos, ref.End, "unknown column %q (have %s)",
+			ref.Name, strings.Join(schema.Names(), ", "))
+	}
+	return schema[j], nil
+}
+
+// operandType classifies an operand for the comparison type check.
+type operandType int
+
+const (
+	opValue operandType = iota
+	opString
+	opModule
+)
+
+func (o operandType) String() string {
+	switch o {
+	case opValue:
+		return "numeric"
+	case opString:
+		return "string"
+	default:
+		return "aggregation"
+	}
+}
+
+func colOperandType(c pvc.Col) operandType {
+	switch c.Type {
+	case pvc.TString:
+		return opString
+	case pvc.TModule:
+		return opModule
+	default:
+		return opValue
+	}
+}
+
+func bindWhere(cmps []pvql.Comparison, sources []source, schema pvc.Schema) (engine.Pred, error) {
+	var pred engine.Pred
+	for _, cmp := range cmps {
+		atom, err := bindComparison(cmp, sources, schema)
+		if err != nil {
+			return engine.Pred{}, err
+		}
+		pred.Atoms = append(pred.Atoms, atom)
+	}
+	return pred, nil
+}
+
+func bindComparison(cmp pvql.Comparison, sources []source, schema pvc.Schema) (engine.Atom, error) {
+	type side struct {
+		col  *pvc.Col // set for column operands
+		name string
+		cell pvc.Cell // set for literals
+		typ  operandType
+	}
+	bindSide := func(op pvql.Operand) (side, error) {
+		switch {
+		case op.Col != nil:
+			c, err := resolve(op.Col, sources, schema)
+			if err != nil {
+				return side{}, err
+			}
+			return side{col: &c, name: c.Name, typ: colOperandType(c)}, nil
+		case op.Num != nil:
+			return side{cell: pvc.ValueCell(*op.Num), typ: opValue}, nil
+		default:
+			return side{cell: pvc.StringCell(*op.Str), typ: opString}, nil
+		}
+	}
+	l, err := bindSide(cmp.L)
+	if err != nil {
+		return engine.Atom{}, err
+	}
+	r, err := bindSide(cmp.R)
+	if err != nil {
+		return engine.Atom{}, err
+	}
+	pos, end := cmp.Span()
+	// Type check: strings only compare against strings; aggregation
+	// columns compare against numeric values or other aggregation columns
+	// (the paper's σ over semimodule values).
+	compatible := l.typ == r.typ ||
+		(l.typ == opModule && r.typ == opValue) || (l.typ == opValue && r.typ == opModule)
+	if !compatible {
+		return engine.Atom{}, errf(pos, end,
+			"cannot compare %s %s with %s %s under %s: an aggregation column compares against numbers or other aggregation columns, never strings",
+			l.typ, operandLabel(cmp.L, l.name), r.typ, operandLabel(cmp.R, r.name), cmp.Th)
+	}
+	switch {
+	case l.col != nil && r.col != nil:
+		return engine.Atom{Left: l.name, Th: cmp.Th, RightCol: r.name}, nil
+	case l.col != nil:
+		cell := r.cell
+		return engine.Atom{Left: l.name, Th: cmp.Th, RightVal: &cell}, nil
+	case r.col != nil:
+		// constant θ column flips to column θ⁻¹ constant.
+		cell := l.cell
+		return engine.Atom{Left: r.name, Th: cmp.Th.Flip(), RightVal: &cell}, nil
+	default:
+		return engine.Atom{}, errf(pos, end, "comparison of two constants; at least one side must be a column")
+	}
+}
+
+func operandLabel(op pvql.Operand, name string) string {
+	if name != "" {
+		return fmt.Sprintf("column %q", name)
+	}
+	if op.Num != nil {
+		return fmt.Sprintf("constant %s", op.Num)
+	}
+	if op.Str != nil {
+		return fmt.Sprintf("constant '%s'", strings.ReplaceAll(*op.Str, "'", "''"))
+	}
+	return "constant"
+}
+
+// bindProjection lowers the select list: the $ operator when aggregates
+// or GROUP BY appear, then δ renames for AS aliases, then π when the
+// remaining list is a strict subset or reordering of constant columns.
+func bindProjection(db *pvc.Database, s *pvql.SelectStmt, plan engine.Plan, schema pvc.Schema, sources []source) (engine.Plan, pvc.Schema, error) {
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.Agg != nil {
+			hasAgg = true
+		}
+	}
+	if s.Star {
+		if hasAgg || len(s.GroupBy) > 0 {
+			return nil, nil, errf(s.StarPos, s.StarPos+1, "SELECT * cannot be combined with GROUP BY")
+		}
+		return plan, schema, nil
+	}
+	if !hasAgg && len(s.GroupBy) == 0 {
+		return bindPlainSelect(s, plan, schema, sources)
+	}
+	return bindAggSelect(db, s, plan, schema, sources)
+}
+
+// bindPlainSelect handles SELECT lists without aggregation: δ renames
+// then, if the list is not exactly the schema, a π projection.
+func bindPlainSelect(s *pvql.SelectStmt, plan engine.Plan, schema pvc.Schema, sources []source) (engine.Plan, pvc.Schema, error) {
+	names := make([]string, 0, len(s.Items))
+	for _, it := range s.Items {
+		col, err := resolve(it.Col, sources, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := col.Name
+		if it.Alias != "" && it.Alias != name {
+			if schema.Index(it.Alias) >= 0 {
+				return nil, nil, errf(it.AliasPos, it.AliasPos+len(it.Alias),
+					"alias %q collides with an existing column", it.Alias)
+			}
+			plan = &engine.Rename{Input: plan, From: name, To: it.Alias}
+			j := schema.Index(name)
+			schema = schema.Clone()
+			schema[j].Name = it.Alias
+			name = it.Alias
+		}
+		for _, seen := range names {
+			if seen == name {
+				pos, end := it.Span()
+				return nil, nil, errf(pos, end, "duplicate output column %q; rename one occurrence with AS", name)
+			}
+		}
+		names = append(names, name)
+	}
+	if slices.Equal(names, schema.Names()) {
+		return plan, schema, nil
+	}
+	// A strict subset or reordering needs π, which only carries constant
+	// columns (Definition 5 constraint 1).
+	out := make(pvc.Schema, len(names))
+	for i, n := range names {
+		j := schema.Index(n)
+		if schema[j].Type == pvc.TModule {
+			it := s.Items[i]
+			pos, end := it.Span()
+			return nil, nil, errf(pos, end,
+				"cannot project aggregation column %q away from its block (Definition 5 constraint 1): select it together with every other column of the sub-query, in order", n)
+		}
+		out[i] = schema[j]
+	}
+	return &engine.Project{Input: plan, Cols: names}, out, nil
+}
+
+// bindAggSelect handles GROUP BY / aggregate select lists, lowering to
+// the $ operator. The select list must be the grouping columns (each
+// optionally renamed) followed by the aggregation calls, mirroring the $
+// output schema.
+func bindAggSelect(db *pvc.Database, s *pvql.SelectStmt, plan engine.Plan, schema pvc.Schema, sources []source) (engine.Plan, pvc.Schema, error) {
+	groupBy := make([]string, 0, len(s.GroupBy))
+	for _, g := range s.GroupBy {
+		col, err := resolve(&g, sources, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		if col.Type == pvc.TModule {
+			return nil, nil, errf(g.Pos, g.End, "cannot GROUP BY aggregation column %q", col.Name)
+		}
+		groupBy = append(groupBy, col.Name)
+	}
+	// Split the select list: leading group columns, then aggregates.
+	var (
+		specs   []engine.AggSpec
+		renames [][2]string // group-column renames, applied after $
+		gi      int
+	)
+	sawAgg := false
+	for _, it := range s.Items {
+		if it.Agg == nil {
+			col, err := resolve(it.Col, sources, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			pos, end := it.Span()
+			if sawAgg {
+				return nil, nil, errf(pos, end,
+					"column %q follows an aggregation function: grouping columns come first, mirroring the $ operator's output", col.Name)
+			}
+			if gi >= len(groupBy) || groupBy[gi] != col.Name {
+				if !slices.Contains(groupBy, col.Name) {
+					return nil, nil, errf(pos, end,
+						"column %q is neither grouped nor aggregated; add it to GROUP BY or wrap it in an aggregation function", col.Name)
+				}
+				return nil, nil, errf(pos, end,
+					"grouping columns must be selected in GROUP BY order (%s)", strings.Join(groupBy, ", "))
+			}
+			if it.Alias != "" && it.Alias != col.Name {
+				renames = append(renames, [2]string{col.Name, it.Alias})
+			}
+			gi++
+			continue
+		}
+		sawAgg = true
+		agg := it.Agg
+		var overCol pvc.Col
+		if !agg.Star {
+			c, err := resolve(agg.Col, sources, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			overCol = c
+		}
+		if err := checkAggregand(agg, overCol); err != nil {
+			return nil, nil, err
+		}
+		out := it.Alias
+		if out == "" {
+			out = defaultAggName(agg)
+		}
+		switch agg.Fn {
+		case "AVG":
+			// The paper composes AVG from the joint (SUM, COUNT)
+			// distribution (Section 2.2); the lowering materialises the
+			// pair, named <out>_sum and <out>_count.
+			specs = append(specs,
+				engine.AggSpec{Out: out + "_sum", Agg: algebra.Sum, Over: overCol.Name},
+				engine.AggSpec{Out: out + "_count", Agg: algebra.Count})
+		case "COUNT":
+			specs = append(specs, engine.AggSpec{Out: out, Agg: algebra.Count})
+		default:
+			a, _ := algebra.ParseAgg(agg.Fn)
+			specs = append(specs, engine.AggSpec{Out: out, Agg: a, Over: overCol.Name})
+		}
+	}
+	if sawAgg && gi != len(groupBy) {
+		pos, end := s.Span()
+		return nil, nil, errf(pos, end,
+			"the select list names %d of %d grouping columns; with aggregates, every GROUP BY column must be selected (project afterwards in an enclosing query)", gi, len(groupBy))
+	}
+	// Output name collisions (two aggregates with the same alias, or an
+	// aggregate shadowing a group column).
+	seen := map[string]bool{}
+	for _, g := range groupBy {
+		seen[g] = true
+	}
+	for _, sp := range specs {
+		if seen[sp.Out] {
+			pos, end := s.Span()
+			return nil, nil, errf(pos, end, "duplicate output column %q; disambiguate with AS", sp.Out)
+		}
+		seen[sp.Out] = true
+	}
+	if !sawAgg {
+		// GROUP BY without aggregates: $ with no aggregation columns
+		// deduplicates per group, then π selects the listed columns.
+		plan = &engine.GroupAgg{Input: plan, GroupBy: groupBy}
+		schemaAfter, err := engine.InferSchema(plan, db)
+		if err != nil {
+			pos, end := s.Span()
+			return nil, nil, errf(pos, end, "%v", err)
+		}
+		return bindPlainSelect(s, plan, schemaAfter, sources)
+	}
+	plan = &engine.GroupAgg{Input: plan, GroupBy: groupBy, Aggs: specs}
+	outSchema, err := engine.InferSchema(plan, db)
+	if err != nil {
+		pos, end := s.Span()
+		return nil, nil, errf(pos, end, "%v", err)
+	}
+	for _, rn := range renames {
+		if outSchema.Index(rn[1]) >= 0 {
+			pos, end := s.Span()
+			return nil, nil, errf(pos, end, "alias %q collides with an existing column", rn[1])
+		}
+		plan = &engine.Rename{Input: plan, From: rn[0], To: rn[1]}
+		j := outSchema.Index(rn[0])
+		outSchema = outSchema.Clone()
+		outSchema[j].Name = rn[1]
+	}
+	return plan, outSchema, nil
+}
+
+func checkAggregand(agg *pvql.AggCall, overCol pvc.Col) error {
+	if agg.Star {
+		if agg.Fn != "COUNT" {
+			return errf(agg.Pos, agg.End, "%s(*) is not defined; %s aggregates a numeric column", agg.Fn, agg.Fn)
+		}
+		return nil
+	}
+	if agg.Fn == "COUNT" {
+		// COUNT(col) counts tuples like COUNT(*) — there are no NULLs in
+		// pvc-tables — so any existing column is acceptable.
+		return nil
+	}
+	switch overCol.Type {
+	case pvc.TString:
+		return errf(agg.Col.Pos, agg.Col.End, "%s over string column %q; aggregation monoids act on numeric values", agg.Fn, overCol.Name)
+	case pvc.TModule:
+		return errf(agg.Col.Pos, agg.Col.End, "%s over aggregation column %q: nested aggregates need an intermediate query block", agg.Fn, overCol.Name)
+	}
+	return nil
+}
+
+func defaultAggName(agg *pvql.AggCall) string {
+	fn := strings.ToLower(agg.Fn)
+	if agg.Star || agg.Col == nil {
+		return fn
+	}
+	return fn + "_" + agg.Col.Name
+}

@@ -1,0 +1,158 @@
+package pvql
+
+import (
+	"strings"
+	"unicode"
+
+	"pvcagg/internal/value"
+)
+
+type tokKind int
+
+const (
+	tokEOF     tokKind = iota
+	tokIdent           // bare identifier (table, column, or non-reserved word)
+	tokKeyword         // reserved word, upper-cased in tok.text
+	tokNumber          // integer literal, possibly ±INF
+	tokString          // single-quoted string literal (unescaped in tok.text)
+	tokTheta           // comparison operator
+	tokComma
+	tokDot
+	tokStar
+	tokLParen
+	tokRParen
+)
+
+// keywords are the reserved words of the grammar. Aggregation function
+// names are NOT reserved — they read as identifiers and the parser
+// recognises them by the following '('.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "JOIN": true, "UNION": true, "AND": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; strings unescaped
+	pos  int    // byte offset of the first byte
+	end  int    // byte offset one past the last byte
+	v    value.V
+	th   value.Theta
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: start, end: start}, nil
+	}
+	c := l.in[l.pos]
+	simple := func(k tokKind) (token, error) {
+		l.pos++
+		return token{kind: k, text: l.in[start:l.pos], pos: start, end: l.pos}, nil
+	}
+	switch {
+	case c == ',':
+		return simple(tokComma)
+	case c == '.':
+		return simple(tokDot)
+	case c == '*':
+		return simple(tokStar)
+	case c == '(':
+		return simple(tokLParen)
+	case c == ')':
+		return simple(tokRParen)
+	case c == '\'':
+		return l.lexString(start)
+	case c == '=' || c == '!' || c == '<' || c == '>':
+		end := l.pos + 1
+		if end < len(l.in) && (l.in[end] == '=' || l.in[end] == '>') {
+			end++
+		}
+		text := l.in[l.pos:end]
+		th, err := value.ParseTheta(text)
+		if err != nil {
+			return token{}, errf(start, end, "bad comparison operator %q", text)
+		}
+		l.pos = end
+		return token{kind: tokTheta, text: text, pos: start, end: end, th: th}, nil
+	case c == '-' || c == '+' || isDigit(c):
+		return l.lexNumber(start)
+	case isIdentStart(c):
+		for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+			l.pos++
+		}
+		text := l.in[start:l.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start, end: l.pos}, nil
+		}
+		if upper == "INF" {
+			return token{kind: tokNumber, text: text, pos: start, end: l.pos, v: value.PosInf()}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start, end: l.pos}, nil
+	default:
+		return token{}, errf(start, start+1, "unexpected character %q", string(rune(c)))
+	}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	neg := false
+	if c := l.in[l.pos]; c == '-' || c == '+' {
+		neg = c == '-'
+		l.pos++
+		if rest := strings.ToUpper(l.in[l.pos:]); len(rest) >= 3 && rest[:3] == "INF" && (len(rest) == 3 || !isIdentPart(rest[3])) {
+			l.pos += 3
+			v := value.PosInf()
+			if neg {
+				v = value.NegInf()
+			}
+			return token{kind: tokNumber, text: l.in[start:l.pos], pos: start, end: l.pos, v: v}, nil
+		}
+	}
+	digits := l.pos
+	for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
+		l.pos++
+	}
+	if l.pos == digits {
+		return token{}, errf(start, l.pos+1, "stray %q: expected digits or INF", l.in[start:digits])
+	}
+	text := l.in[start:l.pos]
+	v, err := value.Parse(text)
+	if err != nil {
+		return token{}, errf(start, l.pos, "malformed number %q: %v", text, err)
+	}
+	return token{kind: tokNumber, text: text, pos: start, end: l.pos, v: v}, nil
+}
+
+// lexString scans a single-quoted literal; ” escapes a quote.
+func (l *lexer) lexString(start int) (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start, end: l.pos}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, errf(start, len(l.in), "unterminated string literal")
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,680 @@
+// Package opt is PVQL's logical optimizer: probability-preserving
+// rewrites of Q-algebra plans applied between the binder's naive lowering
+// and execution. Four passes run in order:
+//
+//  1. predicate pushdown — filter atoms (comparisons over constant
+//     columns) sink below joins, products, unions, renames, projections
+//     and grouping, as close to the scans as the columns allow; adjacent
+//     selections merge. Comparisons involving aggregation columns (the
+//     paper's σ over semimodule values) never move: they rewrite
+//     annotations, and their position pins the annotation expression
+//     shape bit-for-bit.
+//  2. Product+Select→Join fusion — σ with an equality atom x = y over a
+//     cross product (or an existing join) becomes a natural join after
+//     δ-renaming y to x, when y is dead above and unreferenced by the
+//     remaining atoms.
+//  3. greedy join reordering — maximal natural-join trees re-associate
+//     left-deep by estimated cardinality (engine.Estimate), taking a
+//     reordering only when it strictly improves the estimated total
+//     intermediate size; a π̂ restores the original column order when it
+//     changes.
+//  4. projection pruning — π̂ nodes drop dead columns directly above the
+//     scans, dead aggregation specs disappear from $, and renames of
+//     dead columns vanish. π̂ never collapses tuples, so annotations are
+//     untouched.
+//
+// Every rewrite preserves the result relation — tuples, annotations and
+// aggregation expressions — exactly, with two documented exceptions that
+// preserve probabilities but may reassociate annotation expressions:
+// fusion of atoms that engine.Select would have applied in a different
+// multiplication order never arises (fused atoms are pure filters), and
+// join reordering permutes the factors of the annotation products. Both
+// are exact in real arithmetic; the differential suite pins them
+// bit-for-bit on dyadic (power-of-two) tuple marginals, where float64
+// arithmetic is exact in any order.
+package opt
+
+import (
+	"slices"
+
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// Optimize rewrites a plan. Invalid plans (whose schemas do not infer)
+// pass through unchanged so evaluation reports the original error.
+func Optimize(p engine.Plan, db *pvc.Database) engine.Plan {
+	schema, err := engine.InferSchema(p, db)
+	if err != nil {
+		return p
+	}
+	live := nameSet(schema.Names())
+	p = pushdown(p, db)
+	p = fuse(p, db, live)
+	p = reorder(p, db, engine.NewEstimator(db))
+	p = prunePass(p, db, live)
+	return p
+}
+
+func nameSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// atomCols returns the column names an atom references.
+func atomCols(a engine.Atom) []string {
+	if a.RightCol != "" {
+		return []string{a.Left, a.RightCol}
+	}
+	return []string{a.Left}
+}
+
+// isFilterAtom reports whether the atom is a pure filter on the given
+// schema: every referenced column is a constant column and the constant
+// (if any) is not a semimodule expression. Filter atoms drop tuples
+// without touching annotations, so they commute with every operator that
+// groups by whole keys.
+func isFilterAtom(a engine.Atom, schema pvc.Schema) bool {
+	for _, c := range atomCols(a) {
+		j := schema.Index(c)
+		if j < 0 || schema[j].Type == pvc.TModule {
+			return false
+		}
+	}
+	return a.RightVal == nil || a.RightVal.Kind() != pvc.KindExpr
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: predicate pushdown.
+
+func pushdown(p engine.Plan, db *pvc.Database) engine.Plan {
+	switch n := p.(type) {
+	case *engine.Select:
+		in := pushdown(n.Input, db)
+		schema, err := engine.InferSchema(in, db)
+		if err != nil {
+			return &engine.Select{Input: in, Pred: n.Pred}
+		}
+		var remaining []engine.Atom
+		for _, a := range n.Pred.Atoms {
+			if isFilterAtom(a, schema) {
+				if np, ok := sink(a, in, db); ok {
+					in = np
+					continue
+				}
+			}
+			remaining = append(remaining, a)
+		}
+		if len(remaining) == 0 {
+			return in
+		}
+		return &engine.Select{Input: in, Pred: engine.Pred{Atoms: remaining}}
+	case *engine.Rename:
+		return &engine.Rename{Input: pushdown(n.Input, db), From: n.From, To: n.To}
+	case *engine.Project:
+		return &engine.Project{Input: pushdown(n.Input, db), Cols: n.Cols}
+	case *engine.Prune:
+		return &engine.Prune{Input: pushdown(n.Input, db), Cols: n.Cols}
+	case *engine.Product:
+		return &engine.Product{L: pushdown(n.L, db), R: pushdown(n.R, db)}
+	case *engine.Join:
+		return &engine.Join{L: pushdown(n.L, db), R: pushdown(n.R, db)}
+	case *engine.Union:
+		return &engine.Union{L: pushdown(n.L, db), R: pushdown(n.R, db)}
+	case *engine.GroupAgg:
+		return &engine.GroupAgg{Input: pushdown(n.Input, db), GroupBy: n.GroupBy, Aggs: n.Aggs}
+	default:
+		return p
+	}
+}
+
+// sink pushes a filter atom strictly below p, returning (newPlan, true)
+// when it was absorbed somewhere under p, or (p, false) when it belongs
+// directly above p.
+func sink(a engine.Atom, p engine.Plan, db *pvc.Database) (engine.Plan, bool) {
+	cols := atomCols(a)
+	within := func(schema pvc.Schema) bool {
+		for _, c := range cols {
+			if schema.Index(c) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// place puts the atom below child if possible, else wraps child in a
+	// fresh selection.
+	place := func(child engine.Plan) engine.Plan {
+		if np, ok := sink(a, child, db); ok {
+			return np
+		}
+		return &engine.Select{Input: child, Pred: engine.Where(a)}
+	}
+	switch n := p.(type) {
+	case *engine.Select:
+		if np, ok := sink(a, n.Input, db); ok {
+			return &engine.Select{Input: np, Pred: n.Pred}, true
+		}
+		// Merge: appending a filter after the existing atoms preserves the
+		// module atoms' multiplication order exactly.
+		atoms := append(append([]engine.Atom{}, n.Pred.Atoms...), a)
+		return &engine.Select{Input: n.Input, Pred: engine.Pred{Atoms: atoms}}, true
+	case *engine.Rename:
+		mapped := a
+		if mapped.Left == n.To {
+			mapped.Left = n.From
+		}
+		if mapped.RightCol == n.To {
+			mapped.RightCol = n.From
+		}
+		if np, ok := sink(mapped, n.Input, db); ok {
+			return &engine.Rename{Input: np, From: n.From, To: n.To}, true
+		}
+		return p, false
+	case *engine.Project:
+		return &engine.Project{Input: place(n.Input), Cols: n.Cols}, true
+	case *engine.Prune:
+		return &engine.Prune{Input: place(n.Input), Cols: n.Cols}, true
+	case *engine.Join:
+		l, errL := engine.InferSchema(n.L, db)
+		r, errR := engine.InferSchema(n.R, db)
+		if errL != nil || errR != nil {
+			return p, false
+		}
+		inL, inR := within(l), within(r)
+		switch {
+		case inL && inR:
+			return &engine.Join{L: place(n.L), R: place(n.R)}, true
+		case inL:
+			return &engine.Join{L: place(n.L), R: n.R}, true
+		case inR:
+			return &engine.Join{L: n.L, R: place(n.R)}, true
+		default:
+			return p, false
+		}
+	case *engine.Product:
+		l, errL := engine.InferSchema(n.L, db)
+		r, errR := engine.InferSchema(n.R, db)
+		if errL != nil || errR != nil {
+			return p, false
+		}
+		switch {
+		case within(l):
+			return &engine.Product{L: place(n.L), R: n.R}, true
+		case within(r):
+			return &engine.Product{L: n.L, R: place(n.R)}, true
+		default:
+			return p, false
+		}
+	case *engine.Union:
+		return &engine.Union{L: place(n.L), R: place(n.R)}, true
+	case *engine.GroupAgg:
+		for _, c := range cols {
+			if !slices.Contains(n.GroupBy, c) {
+				return p, false
+			}
+		}
+		return &engine.GroupAgg{Input: place(n.Input), GroupBy: n.GroupBy, Aggs: n.Aggs}, true
+	default:
+		return p, false
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: Product+Select→Join fusion.
+
+func fuse(p engine.Plan, db *pvc.Database, live map[string]bool) engine.Plan {
+	if sel, ok := p.(*engine.Select); ok {
+		p = fuseSelect(sel, db, live)
+	}
+	switch n := p.(type) {
+	case *engine.Select:
+		childLive := copySet(live)
+		for _, a := range n.Pred.Atoms {
+			for _, c := range atomCols(a) {
+				childLive[c] = true
+			}
+		}
+		return &engine.Select{Input: fuse(n.Input, db, childLive), Pred: n.Pred}
+	case *engine.Rename:
+		childLive := copySet(live)
+		if childLive[n.To] {
+			delete(childLive, n.To)
+			childLive[n.From] = true
+		}
+		return &engine.Rename{Input: fuse(n.Input, db, childLive), From: n.From, To: n.To}
+	case *engine.Project:
+		return &engine.Project{Input: fuse(n.Input, db, nameSet(n.Cols)), Cols: n.Cols}
+	case *engine.Prune:
+		return &engine.Prune{Input: fuse(n.Input, db, nameSet(n.Cols)), Cols: n.Cols}
+	case *engine.Product:
+		l2, r2, ok := fuseSides(n.L, n.R, db, live)
+		if !ok {
+			return p
+		}
+		return &engine.Product{L: l2, R: r2}
+	case *engine.Join:
+		l2, r2, ok := fuseSides(n.L, n.R, db, live)
+		if !ok {
+			return p
+		}
+		return &engine.Join{L: l2, R: r2}
+	case *engine.Union:
+		ls, err := engine.InferSchema(n.L, db)
+		if err != nil {
+			return p
+		}
+		all := nameSet(ls.Names())
+		return &engine.Union{L: fuse(n.L, db, all), R: fuse(n.R, db, all)}
+	case *engine.GroupAgg:
+		childLive := nameSet(n.GroupBy)
+		for _, a := range n.Aggs {
+			if a.Over != "" {
+				childLive[a.Over] = true
+			}
+		}
+		return &engine.GroupAgg{Input: fuse(n.Input, db, childLive), GroupBy: n.GroupBy, Aggs: n.Aggs}
+	default:
+		return p
+	}
+}
+
+// fuseSides recurses fusion into both sides of a join or product with
+// the join keys forced live.
+func fuseSides(l, r engine.Plan, db *pvc.Database, live map[string]bool) (engine.Plan, engine.Plan, bool) {
+	ls, errL := engine.InferSchema(l, db)
+	rs, errR := engine.InferSchema(r, db)
+	if errL != nil || errR != nil {
+		return nil, nil, false
+	}
+	keys := sharedCols(ls, rs)
+	return fuse(l, db, sideLive(live, ls, keys)), fuse(r, db, sideLive(live, rs, keys)), true
+}
+
+// fuseSelect turns σ[… x=y …](L × R) into σ[…](L ⋈ δ[x←y](R)) when x and
+// y are constant columns on opposite sides, y is dead above this node and
+// unreferenced by the other atoms, and x does not already occur in R. The
+// rule applies to existing joins too (adding x to the key set), and
+// iterates while any atom fuses.
+func fuseSelect(sel *engine.Select, db *pvc.Database, live map[string]bool) engine.Plan {
+	atoms := append([]engine.Atom{}, sel.Pred.Atoms...)
+	input := sel.Input
+	for {
+		var l, r engine.Plan
+		switch n := input.(type) {
+		case *engine.Product:
+			l, r = n.L, n.R
+		case *engine.Join:
+			l, r = n.L, n.R
+		default:
+			break
+		}
+		if l == nil {
+			break
+		}
+		ls, errL := engine.InferSchema(l, db)
+		rs, errR := engine.InferSchema(r, db)
+		if errL != nil || errR != nil {
+			break
+		}
+		fusedAt := -1
+		for i, a := range atoms {
+			if a.Th != value.EQ || a.RightCol == "" || a.Left == a.RightCol {
+				continue
+			}
+			var x, y string
+			switch {
+			case ls.Index(a.Left) >= 0 && rs.Index(a.RightCol) >= 0:
+				x, y = a.Left, a.RightCol
+			case ls.Index(a.RightCol) >= 0 && rs.Index(a.Left) >= 0:
+				x, y = a.RightCol, a.Left
+			default:
+				continue
+			}
+			if colType(ls, x) != pvc.TValue && colType(ls, x) != pvc.TString {
+				continue
+			}
+			if colType(rs, y) == pvc.TModule {
+				continue
+			}
+			if live[y] || rs.Index(x) >= 0 {
+				continue
+			}
+			referenced := false
+			for j, other := range atoms {
+				if j == i {
+					continue
+				}
+				if slices.Contains(atomCols(other), y) {
+					referenced = true
+					break
+				}
+			}
+			if referenced {
+				continue
+			}
+			input = &engine.Join{L: l, R: &engine.Rename{Input: r, From: y, To: x}}
+			atoms = append(atoms[:i], atoms[i+1:]...)
+			fusedAt = i
+			break
+		}
+		if fusedAt < 0 {
+			break
+		}
+	}
+	if len(atoms) == 0 {
+		return input
+	}
+	return &engine.Select{Input: input, Pred: engine.Pred{Atoms: atoms}}
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: greedy join reordering.
+
+func reorder(p engine.Plan, db *pvc.Database, est *engine.Estimator) engine.Plan {
+	switch n := p.(type) {
+	case *engine.Join:
+		leaves := flattenJoin(p)
+		for i := range leaves {
+			leaves[i] = reorder(leaves[i], db, est)
+		}
+		scratch := append([]engine.Plan{}, leaves...)
+		rebuilt := rebuildJoin(p, &scratch)
+		if len(leaves) < 3 {
+			return rebuilt
+		}
+		greedy, ok := greedyJoin(leaves, db, est)
+		if !ok {
+			return rebuilt
+		}
+		if joinCost(greedy, est) >= joinCost(rebuilt, est) {
+			return rebuilt
+		}
+		origSchema, err1 := engine.InferSchema(rebuilt, db)
+		newSchema, err2 := engine.InferSchema(greedy, db)
+		if err1 != nil || err2 != nil {
+			return rebuilt
+		}
+		if !origSchema.Equal(newSchema) {
+			greedyAny := engine.Plan(greedy)
+			greedyAny = &engine.Prune{Input: greedyAny, Cols: origSchema.Names()}
+			return greedyAny
+		}
+		return greedy
+	case *engine.Select:
+		return &engine.Select{Input: reorder(n.Input, db, est), Pred: n.Pred}
+	case *engine.Rename:
+		return &engine.Rename{Input: reorder(n.Input, db, est), From: n.From, To: n.To}
+	case *engine.Project:
+		return &engine.Project{Input: reorder(n.Input, db, est), Cols: n.Cols}
+	case *engine.Prune:
+		return &engine.Prune{Input: reorder(n.Input, db, est), Cols: n.Cols}
+	case *engine.Product:
+		return &engine.Product{L: reorder(n.L, db, est), R: reorder(n.R, db, est)}
+	case *engine.Union:
+		return &engine.Union{L: reorder(n.L, db, est), R: reorder(n.R, db, est)}
+	case *engine.GroupAgg:
+		return &engine.GroupAgg{Input: reorder(n.Input, db, est), GroupBy: n.GroupBy, Aggs: n.Aggs}
+	default:
+		return p
+	}
+}
+
+// flattenJoin lists the non-Join leaves of a maximal Join tree, left to
+// right.
+func flattenJoin(p engine.Plan) []engine.Plan {
+	if j, ok := p.(*engine.Join); ok {
+		return append(flattenJoin(j.L), flattenJoin(j.R)...)
+	}
+	return []engine.Plan{p}
+}
+
+// rebuildJoin reproduces the original join-tree shape over the (already
+// individually reordered) leaves, consumed left to right.
+func rebuildJoin(p engine.Plan, leaves *[]engine.Plan) engine.Plan {
+	if j, ok := p.(*engine.Join); ok {
+		l := rebuildJoin(j.L, leaves)
+		r := rebuildJoin(j.R, leaves)
+		return &engine.Join{L: l, R: r}
+	}
+	leaf := (*leaves)[0]
+	*leaves = (*leaves)[1:]
+	return leaf
+}
+
+// joinCost sums the estimated sizes of every intermediate join result.
+func joinCost(p engine.Plan, est *engine.Estimator) float64 {
+	j, ok := p.(*engine.Join)
+	if !ok {
+		return 0
+	}
+	return est.Estimate(p).Rows + joinCost(j.L, est) + joinCost(j.R, est)
+}
+
+// greedyJoin builds a left-deep join over the leaves: start from the
+// cheapest (preferring connected) pair, then repeatedly absorb the leaf
+// minimising the estimated intermediate size, preferring leaves that
+// share a column with the tree so far. Ties keep the original leaf
+// order, so a plan whose original order is already optimal reproduces
+// itself and the strict-improvement gate in reorder leaves it untouched.
+func greedyJoin(leaves []engine.Plan, db *pvc.Database, est *engine.Estimator) (engine.Plan, bool) {
+	schemas := make([]pvc.Schema, len(leaves))
+	for i, l := range leaves {
+		s, err := engine.InferSchema(l, db)
+		if err != nil {
+			return nil, false
+		}
+		schemas[i] = s
+	}
+	connected := func(a, b pvc.Schema) bool { return len(sharedCols(a, b)) > 0 }
+	used := make([]bool, len(leaves))
+	// Seed pair.
+	bestI, bestJ, bestRows := -1, -1, 0.0
+	for pass := 0; pass < 2 && bestI < 0; pass++ {
+		for i := range leaves {
+			for j := i + 1; j < len(leaves); j++ {
+				if pass == 0 && !connected(schemas[i], schemas[j]) {
+					continue
+				}
+				rows := est.Estimate(&engine.Join{L: leaves[i], R: leaves[j]}).Rows
+				if bestI < 0 || rows < bestRows {
+					bestI, bestJ, bestRows = i, j, rows
+				}
+			}
+		}
+	}
+	if bestI < 0 {
+		return nil, false
+	}
+	cur := engine.Plan(&engine.Join{L: leaves[bestI], R: leaves[bestJ]})
+	used[bestI], used[bestJ] = true, true
+	curSchema, err := engine.InferSchema(cur, db)
+	if err != nil {
+		return nil, false
+	}
+	for n := 2; n < len(leaves); n++ {
+		next, nextRows := -1, 0.0
+		for pass := 0; pass < 2 && next < 0; pass++ {
+			for i := range leaves {
+				if used[i] {
+					continue
+				}
+				if pass == 0 && !connected(curSchema, schemas[i]) {
+					continue
+				}
+				rows := est.Estimate(&engine.Join{L: cur, R: leaves[i]}).Rows
+				if next < 0 || rows < nextRows {
+					next, nextRows = i, rows
+				}
+			}
+		}
+		cur = &engine.Join{L: cur, R: leaves[next]}
+		used[next] = true
+		curSchema, err = engine.InferSchema(cur, db)
+		if err != nil {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: projection pruning.
+
+// prunePass drops columns nothing above needs: π̂ directly above scans,
+// dead aggregation specs out of $, and renames of dead columns. The
+// returned plan's schema is the input schema restricted to a superset of
+// live (order preserved); at the root live covers the whole schema, so
+// the query's output is untouched.
+func prunePass(p engine.Plan, db *pvc.Database, live map[string]bool) engine.Plan {
+	switch n := p.(type) {
+	case *engine.Scan:
+		rel, err := db.Relation(n.Table)
+		if err != nil {
+			return p
+		}
+		var keep []string
+		for _, c := range rel.Schema {
+			if live[c.Name] {
+				keep = append(keep, c.Name)
+			}
+		}
+		if len(keep) == len(rel.Schema) {
+			return p
+		}
+		if len(keep) == 0 {
+			// A source referenced only for its annotations still needs one
+			// column to remain a relation.
+			keep = []string{rel.Schema[0].Name}
+		}
+		return &engine.Prune{Input: p, Cols: keep}
+	case *engine.Rename:
+		if !live[n.To] {
+			// The renamed column is dead: recurse without keeping From
+			// alive, hoping the child prunes it. Only drop the δ node when
+			// From actually disappeared — if the child had to keep it
+			// (e.g. under a ∪), dropping the rename would re-expose From
+			// and silently widen the key set of a natural join above.
+			childLive := copySet(live)
+			delete(childLive, n.To)
+			child := prunePass(n.Input, db, childLive)
+			if s, err := engine.InferSchema(child, db); err == nil && s.Index(n.From) < 0 {
+				return child
+			}
+			return &engine.Rename{Input: child, From: n.From, To: n.To}
+		}
+		childLive := copySet(live)
+		delete(childLive, n.To)
+		childLive[n.From] = true
+		return &engine.Rename{Input: prunePass(n.Input, db, childLive), From: n.From, To: n.To}
+	case *engine.Select:
+		childLive := copySet(live)
+		for _, a := range n.Pred.Atoms {
+			for _, c := range atomCols(a) {
+				childLive[c] = true
+			}
+		}
+		return &engine.Select{Input: prunePass(n.Input, db, childLive), Pred: n.Pred}
+	case *engine.Project:
+		return &engine.Project{Input: prunePass(n.Input, db, nameSet(n.Cols)), Cols: n.Cols}
+	case *engine.Prune:
+		return &engine.Prune{Input: prunePass(n.Input, db, nameSet(n.Cols)), Cols: n.Cols}
+	case *engine.Product:
+		ls, errL := engine.InferSchema(n.L, db)
+		rs, errR := engine.InferSchema(n.R, db)
+		if errL != nil || errR != nil {
+			return p
+		}
+		return &engine.Product{
+			L: prunePass(n.L, db, sideLive(live, ls, nil)),
+			R: prunePass(n.R, db, sideLive(live, rs, nil)),
+		}
+	case *engine.Join:
+		ls, errL := engine.InferSchema(n.L, db)
+		rs, errR := engine.InferSchema(n.R, db)
+		if errL != nil || errR != nil {
+			return p
+		}
+		keys := sharedCols(ls, rs)
+		return &engine.Join{
+			L: prunePass(n.L, db, sideLive(live, ls, keys)),
+			R: prunePass(n.R, db, sideLive(live, rs, keys)),
+		}
+	case *engine.Union:
+		// Pruning below ∪ could collapse tuples that differ only in a
+		// pruned column, changing the summed annotations — blocked.
+		ls, err := engine.InferSchema(n.L, db)
+		if err != nil {
+			return p
+		}
+		all := nameSet(ls.Names())
+		return &engine.Union{L: prunePass(n.L, db, all), R: prunePass(n.R, db, all)}
+	case *engine.GroupAgg:
+		kept := make([]engine.AggSpec, 0, len(n.Aggs))
+		for _, a := range n.Aggs {
+			if live[a.Out] {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 && len(n.GroupBy) == 0 && len(n.Aggs) > 0 {
+			kept = n.Aggs[:1] // keep the relation non-empty-schema'd
+		}
+		childLive := nameSet(n.GroupBy)
+		for _, a := range kept {
+			if a.Over != "" {
+				childLive[a.Over] = true
+			}
+		}
+		return &engine.GroupAgg{Input: prunePass(n.Input, db, childLive), GroupBy: n.GroupBy, Aggs: kept}
+	default:
+		return p
+	}
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+
+func colType(s pvc.Schema, name string) pvc.ColType {
+	if j := s.Index(name); j >= 0 {
+		return s[j].Type
+	}
+	return pvc.TValue
+}
+
+func sharedCols(a, b pvc.Schema) []string {
+	var out []string
+	for _, c := range a {
+		if b.Index(c.Name) >= 0 {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// sideLive restricts a live set to one side of a join/product, forcing
+// the join keys live.
+func sideLive(live map[string]bool, side pvc.Schema, keys []string) map[string]bool {
+	out := make(map[string]bool, len(live)+len(keys))
+	for _, c := range side {
+		if live[c.Name] {
+			out[c.Name] = true
+		}
+	}
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}

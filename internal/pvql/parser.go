@@ -1,0 +1,364 @@
+package pvql
+
+import "strings"
+
+// aggFns are the aggregation functions of the select list. PROD is the
+// paper's product monoid; AVG is composed from SUM and COUNT (Section
+// 2.2) — the binder lowers it to the pair.
+var aggFns = map[string]bool{
+	"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "PROD": true, "AVG": true,
+}
+
+// Parse parses one PVQL query. Errors are always *Error values carrying
+// the byte offset of the offending token.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: &lexer{in: src}}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errf(p.tok.pos, p.tok.end, "unexpected trailing input %q", p.tok.text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokKeyword || p.tok.text != kw {
+		return errf(p.tok.pos, p.tok.end, "expected %s, got %s", kw, p.describe())
+	}
+	return p.next()
+}
+
+// atKeyword reports whether the current token is the given keyword.
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+// describe renders the current token for error messages.
+func (p *parser) describe() string {
+	if p.tok.kind == tokEOF {
+		return "end of query"
+	}
+	if p.tok.kind == tokString {
+		return "'" + strings.ReplaceAll(p.tok.text, "'", "''") + "'"
+	}
+	return "\"" + p.tok.text + "\""
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for {
+		s, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q.Selects = append(q.Selects, s)
+		if !p.atKeyword("UNION") {
+			return q, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	s := &SelectStmt{Pos: p.tok.pos}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokStar {
+		s.Star, s.StarPos = true, p.tok.pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, item)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for first := true; ; first = false {
+		combine := CombineNone
+		if !first {
+			switch {
+			case p.tok.kind == tokComma:
+				combine = CombineProduct
+			case p.atKeyword("JOIN"):
+				combine = CombineJoin
+			default:
+				combine = CombineNone
+			}
+			if combine == CombineNone {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		item, err := p.parseFromItem(combine)
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, item)
+	}
+	if p.atKeyword("WHERE") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		for {
+			cmp, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			s.Where = append(s.Where, cmp)
+			if !p.atKeyword("AND") {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.atKeyword("GROUP") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.End = p.tok.pos
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	if p.tok.kind != tokIdent {
+		return item, errf(p.tok.pos, p.tok.end, "expected a column or aggregation function, got %s", p.describe())
+	}
+	name, pos, end := p.tok.text, p.tok.pos, p.tok.end
+	if err := p.next(); err != nil {
+		return item, err
+	}
+	if fn := strings.ToUpper(name); aggFns[fn] && p.tok.kind == tokLParen {
+		agg := &AggCall{Fn: fn, Pos: pos}
+		if err := p.next(); err != nil {
+			return item, err
+		}
+		if p.tok.kind == tokStar {
+			agg.Star = true
+			if err := p.next(); err != nil {
+				return item, err
+			}
+		} else {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return item, err
+			}
+			agg.Col = &c
+		}
+		if p.tok.kind != tokRParen {
+			return item, errf(p.tok.pos, p.tok.end, "expected ')' after %s(…, got %s", fn, p.describe())
+		}
+		agg.End = p.tok.end
+		if err := p.next(); err != nil {
+			return item, err
+		}
+		item.Agg = agg
+	} else {
+		col := ColumnRef{Name: name, Pos: pos, End: end}
+		if p.tok.kind == tokDot {
+			if err := p.next(); err != nil {
+				return item, err
+			}
+			if p.tok.kind != tokIdent {
+				return item, errf(p.tok.pos, p.tok.end, "expected a column name after %q., got %s", name, p.describe())
+			}
+			col = ColumnRef{Qualifier: name, Name: p.tok.text, Pos: pos, End: p.tok.end}
+			if err := p.next(); err != nil {
+				return item, err
+			}
+		}
+		item.Col = &col
+	}
+	if p.atKeyword("AS") {
+		if err := p.next(); err != nil {
+			return item, err
+		}
+		if p.tok.kind != tokIdent {
+			return item, errf(p.tok.pos, p.tok.end, "expected an alias after AS, got %s", p.describe())
+		}
+		item.Alias, item.AliasPos = p.tok.text, p.tok.pos
+		if err := p.next(); err != nil {
+			return item, err
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem(combine Combinator) (FromItem, error) {
+	item := FromItem{Combine: combine, Pos: p.tok.pos}
+	switch p.tok.kind {
+	case tokIdent:
+		item.Table, item.End = p.tok.text, p.tok.end
+		if err := p.next(); err != nil {
+			return item, err
+		}
+	case tokLParen:
+		if err := p.next(); err != nil {
+			return item, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return item, err
+		}
+		if p.tok.kind != tokRParen {
+			return item, errf(p.tok.pos, p.tok.end, "expected ')' closing the sub-query, got %s", p.describe())
+		}
+		item.Sub, item.End = sub, p.tok.end
+		if err := p.next(); err != nil {
+			return item, err
+		}
+	default:
+		return item, errf(p.tok.pos, p.tok.end, "expected a table name or a sub-query, got %s", p.describe())
+	}
+	if p.atKeyword("AS") {
+		if err := p.next(); err != nil {
+			return item, err
+		}
+		if p.tok.kind != tokIdent {
+			return item, errf(p.tok.pos, p.tok.end, "expected an alias after AS, got %s", p.describe())
+		}
+		item.Alias, item.End = p.tok.text, p.tok.end
+		if err := p.next(); err != nil {
+			return item, err
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseComparison() (Comparison, error) {
+	var cmp Comparison
+	l, err := p.parseOperand()
+	if err != nil {
+		return cmp, err
+	}
+	if p.tok.kind != tokTheta {
+		return cmp, errf(p.tok.pos, p.tok.end, "expected a comparison operator (=, !=, <=, >=, <, >), got %s", p.describe())
+	}
+	cmp.Th, cmp.ThPos = p.tok.th, p.tok.pos
+	if err := p.next(); err != nil {
+		return cmp, err
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return cmp, err
+	}
+	cmp.L, cmp.R = l, r
+	return cmp, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	op := Operand{Pos: p.tok.pos, End: p.tok.end}
+	switch p.tok.kind {
+	case tokIdent:
+		name, pos := p.tok.text, p.tok.pos
+		if err := p.next(); err != nil {
+			return op, err
+		}
+		col := ColumnRef{Name: name, Pos: pos, End: op.End}
+		if p.tok.kind == tokDot {
+			if err := p.next(); err != nil {
+				return op, err
+			}
+			if p.tok.kind != tokIdent {
+				return op, errf(p.tok.pos, p.tok.end, "expected a column name after %q., got %s", name, p.describe())
+			}
+			col = ColumnRef{Qualifier: name, Name: p.tok.text, Pos: pos, End: p.tok.end}
+			op.End = p.tok.end
+			if err := p.next(); err != nil {
+				return op, err
+			}
+		}
+		op.Col = &col
+		return op, nil
+	case tokNumber:
+		v := p.tok.v
+		op.Num = &v
+		return op, p.next()
+	case tokString:
+		s := p.tok.text
+		op.Str = &s
+		return op, p.next()
+	default:
+		return op, errf(p.tok.pos, p.tok.end, "expected a column, number or string, got %s", p.describe())
+	}
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	if p.tok.kind != tokIdent {
+		return ColumnRef{}, errf(p.tok.pos, p.tok.end, "expected a column name, got %s", p.describe())
+	}
+	col := ColumnRef{Name: p.tok.text, Pos: p.tok.pos, End: p.tok.end}
+	if err := p.next(); err != nil {
+		return col, err
+	}
+	if p.tok.kind == tokDot {
+		if err := p.next(); err != nil {
+			return col, err
+		}
+		if p.tok.kind != tokIdent {
+			return col, errf(p.tok.pos, p.tok.end, "expected a column name after %q., got %s", col.Name, p.describe())
+		}
+		col = ColumnRef{Qualifier: col.Name, Name: p.tok.text, Pos: col.Pos, End: p.tok.end}
+		if err := p.next(); err != nil {
+			return col, err
+		}
+	}
+	return col, nil
+}

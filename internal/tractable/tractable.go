@@ -56,6 +56,11 @@ func Classify(p engine.Plan, db *pvc.Database) Verdict {
 		return Verdict{Ind, fmt.Sprintf("%s is a tuple-independent relation (Def. 8.1)", n.Table)}
 	case *engine.Rename:
 		return Classify(n.Input, db)
+	case *engine.Prune:
+		// π̂ narrows columns without touching tuples or annotations, so
+		// the input's class carries over unchanged. The dropped attributes
+		// stay existential in the hierarchical analysis (conservative).
+		return Classify(n.Input, db)
 	case *engine.GroupAgg:
 		// Def. 9.1: $Ā;γ←AGG(C)[σψ(Q1×…×Qn)] with πĀσψ(…) hierarchical.
 		body, err := flatten(n.Input, db)
@@ -336,6 +341,9 @@ func (q *flatQuery) walk(p engine.Plan, db *pvc.Database, rename map[string]stri
 		if top && q.projected == nil {
 			q.projected = append([]string(nil), n.Cols...)
 		}
+		return q.walk(n.Input, db, rename, top)
+	case *engine.Prune:
+		// Annotation-transparent; the pruned attributes remain existential.
 		return q.walk(n.Input, db, rename, top)
 	case *engine.GroupAgg:
 		if top && q.aggInput == nil && len(q.rels) == 0 {

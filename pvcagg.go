@@ -78,6 +78,34 @@
 // Bare expressions run through ExecExpr and already-evaluated pvc-tables
 // through ExecTable, with the same options.
 //
+// # Query language
+//
+// PVQL is the declarative frontend over the Q-algebra: ExecQuery parses
+// a small SQL-like language (SELECT/FROM/WHERE/GROUP BY with the
+// paper's aggregation monoids as functions, JOIN/","/UNION for ⋈/×/∪,
+// AS for δ, sub-queries for nesting), binds it against the database
+// schema with byte-positioned errors (*QueryError), rewrites the plan
+// through a logical optimizer — predicate pushdown, Product+Select→Join
+// fusion, greedy join reordering by estimated cardinality, and
+// collapse-free projection pruning (the π̂ Prune operator) — and then
+// executes it through Exec, so every option applies and Auto classifies
+// the optimized plan:
+//
+//	res, err := pvcagg.ExecQuery(ctx, db, `
+//	  SELECT shop FROM (
+//	    SELECT shop, MAX(price) AS P FROM (
+//	      SELECT shop, price FROM S JOIN PS JOIN (SELECT * FROM P1 UNION SELECT * FROM P2)
+//	    ) GROUP BY shop
+//	  ) WHERE P <= 50`)
+//
+// WHERE comparisons over aggregation columns are the paper's σ over
+// semimodule values; AVG lowers to the joint (SUM, COUNT) pair of
+// Section 2.2. ParseQuery compiles without executing; ParsePlan inverts
+// Plan.String over its printable subset. The README's "Query language"
+// section has the full grammar (EBNF), worked examples for all three
+// strategies, and the optimizer's rewrite list with its differential
+// guarantees.
+//
 // The pre-Exec entry points (Run, RunWithOptions, RunParallel,
 // RunParallelWithOptions, RunApprox, ProbabilitiesParallel,
 // ProbabilitiesApprox, Approximate) remain as deprecated wrappers that
@@ -271,11 +299,14 @@ func NewRelation(name string, schema Schema) *Relation { return pvc.NewRelation(
 
 // Query plans (the Q algebra of Definition 5).
 type (
-	Plan     = engine.Plan
-	Scan     = engine.Scan
-	Rename   = engine.Rename
-	Select   = engine.Select
-	Project  = engine.Project
+	Plan    = engine.Plan
+	Scan    = engine.Scan
+	Rename  = engine.Rename
+	Select  = engine.Select
+	Project = engine.Project
+	// Prune is the optimizer's π̂: column pruning without duplicate
+	// collapse (annotations untouched).
+	Prune    = engine.Prune
 	Product  = engine.Product
 	Join     = engine.Join
 	Union    = engine.Union

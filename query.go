@@ -1,0 +1,75 @@
+package pvcagg
+
+import (
+	"context"
+
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvql"
+	"pvcagg/internal/pvql/bind"
+	"pvcagg/internal/pvql/opt"
+)
+
+// This file is the PVQL frontend: declarative queries compile through
+// parse → bind → optimize into Q-algebra plans and execute through Exec,
+// so every strategy option applies unchanged and Result.Strategy is
+// driven by Classify on the *optimized* plan.
+
+// QueryError is a positioned PVQL parse or semantic error: Pos and End
+// are byte offsets into the query text, and Render formats the error
+// with a caret under the offending span.
+type QueryError = pvql.Error
+
+// ParseQuery compiles a PVQL query against a database into an optimized
+// Q-algebra plan. The syntax (see the package documentation's "Query
+// language" section, or internal/pvql for the full EBNF):
+//
+//	SELECT shop FROM (
+//	  SELECT shop, MAX(price) AS P FROM (
+//	    SELECT shop, price FROM S JOIN PS JOIN (SELECT * FROM P1 UNION SELECT * FROM P2)
+//	  ) GROUP BY shop
+//	) WHERE P <= 50
+//
+// Errors are *QueryError values pointing at the offending byte span.
+func ParseQuery(db *Database, query string) (Plan, error) {
+	naive, err := parseQueryNaive(db, query)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(naive, db), nil
+}
+
+// parseQueryNaive is the rewrite-free lowering (parse + bind only),
+// shared by ParseQuery and the optimizer's differential tests.
+func parseQueryNaive(db *Database, query string) (Plan, error) {
+	q, err := pvql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return bind.Bind(db, q)
+}
+
+// ExecQuery is Exec over PVQL text: it parses, binds and optimizes the
+// query, then executes the plan under the configured strategy — all Exec
+// options (modes, ε, parallelism, budgets, seeds, the shared cache)
+// apply unchanged. Auto mode classifies the optimized plan.
+//
+//	res, err := pvcagg.ExecQuery(ctx, db, "SELECT a, COUNT(*) AS n FROM R GROUP BY a")
+//	outs, err := res.Collect()
+func ExecQuery(ctx context.Context, db *Database, query string, opts ...Option) (*Result, error) {
+	plan, err := ParseQuery(db, query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(ctx, db, plan, opts...)
+}
+
+// ParsePlan parses the algebra rendering produced by Plan.String back
+// into a plan — the inverse of the renderer over its printable subset
+// (identifier names, numeric and quoted-string constants).
+func ParsePlan(s string) (Plan, error) { return pvql.ParsePlan(s) }
+
+// EstimateCardinality estimates the number of result tuples of a plan —
+// the cost signal the PVQL optimizer's greedy join reordering uses.
+func EstimateCardinality(p Plan, db *Database) float64 {
+	return engine.EstimateCardinality(p, db)
+}

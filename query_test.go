@@ -1,0 +1,174 @@
+package pvcagg_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"pvcagg"
+	"pvcagg/internal/tpch"
+)
+
+// This file is the PVQL acceptance suite: the two paper queries (TPC-H
+// Q1 and Figure 1 Q2) expressed in PVQL must produce bit-for-bit
+// identical Results — confidences, aggregation distributions and
+// strategy verdicts — to their hand-built engine.Plan equivalents.
+
+const tpchQ1PVQL = `
+  SELECT l_returnflag, l_linestatus, COUNT(*) AS count_order
+  FROM lineitem
+  WHERE l_shipdate <= 1200
+  GROUP BY l_returnflag, l_linestatus`
+
+const figure1Q2PVQL = `
+  SELECT shop FROM (
+    SELECT shop, MAX(price) AS P FROM (
+      SELECT shop, price FROM S JOIN PS JOIN (SELECT * FROM P1 UNION SELECT * FROM P2)
+    ) GROUP BY shop
+  ) WHERE P <= 50`
+
+// assertSameResults runs both executions to completion and compares
+// outcome-by-outcome at tolerance 0.
+func assertSameResults(t *testing.T, want, got *pvcagg.Result) {
+	t.Helper()
+	if want.Strategy.Chosen != got.Strategy.Chosen {
+		t.Fatalf("strategies differ: %v vs %v", want.Strategy, got.Strategy)
+	}
+	wv, gv := want.Strategy.Verdict, got.Strategy.Verdict
+	if (wv == nil) != (gv == nil) || (wv != nil && *wv != *gv) {
+		t.Fatalf("verdicts differ: %v vs %v", wv, gv)
+	}
+	wOuts, err := want.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOuts, err := got.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wOuts) != len(gOuts) {
+		t.Fatalf("tuple counts differ: %d vs %d", len(wOuts), len(gOuts))
+	}
+	for i := range wOuts {
+		if wOuts[i].Tuple.Key() != gOuts[i].Tuple.Key() {
+			t.Fatalf("tuple %d differs: %s vs %s", i, wOuts[i].Tuple.Key(), gOuts[i].Tuple.Key())
+		}
+		if wOuts[i].Confidence != gOuts[i].Confidence {
+			t.Fatalf("tuple %d confidence differs: %v vs %v", i, wOuts[i].Confidence, gOuts[i].Confidence)
+		}
+		if len(wOuts[i].AggDists) != len(gOuts[i].AggDists) {
+			t.Fatalf("tuple %d aggregate count differs", i)
+		}
+		for j := range wOuts[i].AggDists {
+			if !wOuts[i].AggDists[j].Equal(gOuts[i].AggDists[j], 0) {
+				t.Fatalf("tuple %d aggregate %d differs:\n%v\n%v", i, j, wOuts[i].AggDists[j], gOuts[i].AggDists[j])
+			}
+		}
+	}
+}
+
+func TestExecQueryTPCHQ1BitForBit(t *testing.T) {
+	// p = 0.9 tuple marginals: non-dyadic floats, so this also pins that
+	// the optimizer's rewrites on Q1 (predicate placement, scan pruning)
+	// preserve the annotation expressions exactly, not just numerically.
+	db, err := tpch.Generate(tpch.Config{SF: 0.001, Seed: 1, Probabilistic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, mode := range []pvcagg.Option{
+		pvcagg.WithMode(pvcagg.Auto),
+		pvcagg.WithMode(pvcagg.Exact),
+	} {
+		want, err := pvcagg.Exec(ctx, db, tpch.Q1(1200), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pvcagg.ExecQuery(ctx, db, tpchQ1PVQL, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, want, got)
+	}
+}
+
+func TestExecQueryFigure1Q2BitForBit(t *testing.T) {
+	db := figure1ShopDB(0.5)
+	ctx := context.Background()
+	// Auto routes Q2 identically for both plans (verdict compared), and
+	// the anytime bounds — expansion-order sensitive — must also agree,
+	// which pins that the optimizer left Q2's annotation expressions
+	// untouched.
+	for _, mode := range []pvcagg.Option{
+		pvcagg.WithMode(pvcagg.Auto),
+		pvcagg.WithMode(pvcagg.Exact),
+	} {
+		want, err := pvcagg.Exec(ctx, db, figure1Q2(), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pvcagg.ExecQuery(ctx, db, figure1Q2PVQL, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, want, got)
+	}
+}
+
+func TestExecQuerySampleMode(t *testing.T) {
+	db := figure1ShopDB(0.5)
+	ctx := context.Background()
+	want, err := pvcagg.Exec(ctx, db, figure1Q2(), pvcagg.WithMode(pvcagg.Sample), pvcagg.WithSeed(7), pvcagg.WithSamples(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pvcagg.ExecQuery(ctx, db, figure1Q2PVQL, pvcagg.WithMode(pvcagg.Sample), pvcagg.WithSeed(7), pvcagg.WithSamples(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, want, got)
+}
+
+func TestExecQueryErrors(t *testing.T) {
+	db := figure1ShopDB(0.5)
+	ctx := context.Background()
+	for _, c := range []struct{ src, frag string }{
+		{"SELECT", "expected a column"},
+		{"SELECT * FROM missing", `unknown table "missing"`},
+		{"SELECT nope FROM S", `unknown column "nope"`},
+	} {
+		_, err := pvcagg.ExecQuery(ctx, db, c.src)
+		if err == nil {
+			t.Fatalf("ExecQuery(%q) succeeded", c.src)
+		}
+		var qe *pvcagg.QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("ExecQuery(%q) returned %T, want *QueryError", c.src, err)
+		}
+		if !strings.Contains(qe.Msg, c.frag) {
+			t.Fatalf("ExecQuery(%q) = %q, want %q", c.src, qe.Msg, c.frag)
+		}
+		if r := qe.Render(c.src); !strings.Contains(r, "^") {
+			t.Fatalf("Render missing caret: %q", r)
+		}
+	}
+}
+
+func TestParsePlanFacade(t *testing.T) {
+	db := figure1ShopDB(0.5)
+	plan, err := pvcagg.ParseQuery(db, figure1Q2PVQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := pvcagg.ParsePlan(plan.String())
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", plan.String(), err)
+	}
+	if rt.String() != plan.String() {
+		t.Fatalf("round trip drift:\n%s\n%s", plan, rt)
+	}
+	if est := pvcagg.EstimateCardinality(&pvcagg.Scan{Table: "PS"}, db); est != 9 {
+		t.Fatalf("EstimateCardinality(PS) = %v, want 9", est)
+	}
+}
