@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"pvcagg"
@@ -28,6 +29,7 @@ import (
 	"pvcagg/internal/core"
 	"pvcagg/internal/engine"
 	"pvcagg/internal/gen"
+	"pvcagg/internal/pvc"
 	"pvcagg/internal/tpch"
 	"pvcagg/internal/value"
 )
@@ -638,6 +640,108 @@ func BenchmarkExecQuery(b *testing.B) {
 	}
 }
 
+// evalPathBenchCases builds the streaming-vs-materialized step-I
+// ablation on join/product-heavy plans where the materializing engine
+// buffers a large intermediate the streaming path never allocates:
+//
+//   - product-select: σ[u≤w ∧ w≤u](PA × PB) — a θ-product of 360×360 =
+//     129,600 pairs of which ~65 survive. Materializing builds the full
+//     product relation first; streaming fuses the σ atoms into the pair
+//     iterator and allocates output cells and annotations only for
+//     survivors.
+//   - join-filter-group: $[a; COUNT](σ[u≤5](JA ⋈ JB)) — a selective
+//     filter over a wide hash join feeding a grouping sink. The
+//     materializing path buffers the whole join output; streaming keeps
+//     only the build table and the per-group accumulators.
+//
+// Both run engine.EvalPlan vs engine.StreamEvalPlan directly (step I
+// only — step II is identical by construction), with allocations
+// reported, so BENCH_exec.json records the memory cliff.
+func evalPathBenchCases() ([]execBenchCase, error) {
+	rng := rand.New(rand.NewSource(7))
+	db := pvc.NewDatabase(algebra.Boolean)
+	add := func(name string, cols [2]string, n int, row func(i int) [2]int64) error {
+		rel := pvc.NewRelation(name, pvc.Schema{
+			{Name: cols[0], Type: pvc.TValue},
+			{Name: cols[1], Type: pvc.TValue},
+		})
+		for i := 0; i < n; i++ {
+			r := row(i)
+			if _, err := db.InsertIndependent(rel, 0.5, pvc.IntCell(r[0]), pvc.IntCell(r[1])); err != nil {
+				return err
+			}
+		}
+		db.Add(rel)
+		return nil
+	}
+	if err := add("PA", [2]string{"a", "u"}, 360, func(i int) [2]int64 {
+		return [2]int64{int64(i), rng.Int63n(2000)}
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("PB", [2]string{"b", "w"}, 360, func(i int) [2]int64 {
+		return [2]int64{int64(i), rng.Int63n(2000)}
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("JA", [2]string{"a", "u"}, 400, func(i int) [2]int64 {
+		return [2]int64{rng.Int63n(50), rng.Int63n(100)}
+	}); err != nil {
+		return nil, err
+	}
+	if err := add("JB", [2]string{"a", "v"}, 200, func(i int) [2]int64 {
+		return [2]int64{rng.Int63n(50), int64(i)}
+	}); err != nil {
+		return nil, err
+	}
+	productSelect := &engine.Select{
+		Input: &engine.Product{L: &engine.Scan{Table: "PA"}, R: &engine.Scan{Table: "PB"}},
+		Pred:  engine.Where(engine.ColThetaCol("u", value.LE, "w"), engine.ColThetaCol("w", value.LE, "u")),
+	}
+	joinFilterGroup := &engine.GroupAgg{
+		Input: &engine.Select{
+			Input: &engine.Join{L: &engine.Scan{Table: "JA"}, R: &engine.Scan{Table: "JB"}},
+			Pred:  engine.Where(engine.ColTheta("u", value.LE, pvc.IntCell(5))),
+		},
+		GroupBy: []string{"a"},
+		Aggs:    []engine.AggSpec{{Out: "n", Agg: algebra.Count}},
+	}
+	mk := func(plan engine.Plan, streaming bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if streaming {
+					_, _, err = engine.StreamEvalPlan(context.Background(), db, plan)
+				} else {
+					_, _, err = engine.EvalPlan(context.Background(), db, plan)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return []execBenchCase{
+		{"product-select/materialized", mk(productSelect, false)},
+		{"product-select/streaming", mk(productSelect, true)},
+		{"join-filter-group/materialized", mk(joinFilterGroup, false)},
+		{"join-filter-group/streaming", mk(joinFilterGroup, true)},
+	}, nil
+}
+
+// BenchmarkEvalPath: streaming vs materialized step-I execution on
+// join/product-heavy plans (see evalPathBenchCases).
+func BenchmarkEvalPath(b *testing.B) {
+	cases, err := evalPathBenchCases()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		b.Run(c.name, c.fn)
+	}
+}
+
 // TestEmitBenchJSON runs the Exec benchmark family through
 // testing.Benchmark and writes the measurements to the file named by
 // -benchjson (skipped when the flag is unset), so CI and scripts can
@@ -654,7 +758,11 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	records := make([]benchx.BenchRecord, 0, len(cases)+len(queryCases))
+	evalCases, err := evalPathBenchCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([]benchx.BenchRecord, 0, len(cases)+len(queryCases)+len(evalCases))
 	emit := func(prefix string, cs []execBenchCase) {
 		for _, c := range cs {
 			r := testing.Benchmark(c.fn)
@@ -669,6 +777,7 @@ func TestEmitBenchJSON(t *testing.T) {
 	}
 	emit("Exec/", cases)
 	emit("ExecQuery/", queryCases)
+	emit("EvalPath/", evalCases)
 	if err := benchx.WriteBenchJSON(*benchJSONPath, records); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,73 @@
+package pvcagg_test
+
+// Cross-path golden acceptance: the paper's two pinned queries (TPC-H Q1
+// at p = 0.9 non-dyadic marginals, Figure 1 Q2) must produce bit-for-bit
+// identical Results through the streaming (default) and materialized
+// execution paths — confidences, aggregation distributions, verdicts —
+// exercising the WithEvalPath option end to end.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pvcagg"
+	"pvcagg/internal/tpch"
+)
+
+func TestExecEvalPathTPCHQ1BitForBit(t *testing.T) {
+	db, err := tpch.Generate(tpch.Config{SF: 0.001, Seed: 1, Probabilistic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := pvcagg.ExecQuery(ctx, db, tpchQ1PVQL, pvcagg.WithEvalPath(pvcagg.MaterializedEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pvcagg.ExecQuery(ctx, db, tpchQ1PVQL, pvcagg.WithEvalPath(pvcagg.StreamingEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Strategy.EvalPath != pvcagg.MaterializedEval || got.Strategy.EvalPath != pvcagg.StreamingEval {
+		t.Fatalf("Strategy.EvalPath not recorded: %v vs %v", want.Strategy.EvalPath, got.Strategy.EvalPath)
+	}
+	assertSameResults(t, want, got)
+}
+
+func TestExecEvalPathFigure1Q2BitForBit(t *testing.T) {
+	db := figure1ShopDB(0.5)
+	ctx := context.Background()
+	// Anytime bounds are expansion-order sensitive, so agreement here pins
+	// that streaming reproduces the exact annotation expression structure,
+	// not just the numbers.
+	for _, mode := range []pvcagg.Option{
+		pvcagg.WithMode(pvcagg.Auto),
+		pvcagg.WithMode(pvcagg.Exact),
+		pvcagg.WithMode(pvcagg.Anytime),
+	} {
+		want, err := pvcagg.ExecQuery(ctx, db, figure1Q2PVQL, mode, pvcagg.WithEvalPath(pvcagg.MaterializedEval))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pvcagg.ExecQuery(ctx, db, figure1Q2PVQL, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, want, got)
+	}
+}
+
+func TestExecEvalPathValidation(t *testing.T) {
+	db := figure1ShopDB(0.5)
+	_, err := pvcagg.ExecQuery(context.Background(), db, figure1Q2PVQL, pvcagg.WithEvalPath(pvcagg.EvalPath(99)))
+	if err == nil || !strings.Contains(err.Error(), "unknown eval path") {
+		t.Fatalf("invalid eval path accepted: %v", err)
+	}
+	if got := pvcagg.StreamingEval.String(); got != "streaming" {
+		t.Fatalf("StreamingEval.String() = %q", got)
+	}
+	if got := pvcagg.MaterializedEval.String(); got != "materialized" {
+		t.Fatalf("MaterializedEval.String() = %q", got)
+	}
+}

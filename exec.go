@@ -75,6 +75,43 @@ func (m Mode) String() string {
 	}
 }
 
+// EvalPath selects the physical execution layer for step I (plan
+// evaluation). Both paths produce bit-for-bit identical result
+// pvc-tables — tuples, annotations and aggregation expressions — so the
+// choice only affects time and memory.
+type EvalPath int
+
+const (
+	// StreamingEval (the default) evaluates plans through the pull
+	// iterator layer: σ/π̂/δ are fully pipelined, ⋈/× materialize only
+	// the hash-join build side, and π/∪/$ group incrementally — no
+	// operator buffers its whole input relation.
+	StreamingEval EvalPath = iota
+	// MaterializedEval evaluates every operator into a full intermediate
+	// relation (the classic Plan.Eval path) — the differential safety
+	// net, and occasionally faster on tiny inputs.
+	MaterializedEval
+)
+
+func (p EvalPath) String() string {
+	switch p {
+	case StreamingEval:
+		return "streaming"
+	case MaterializedEval:
+		return "materialized"
+	default:
+		return fmt.Sprintf("EvalPath(%d)", int(p))
+	}
+}
+
+// WithEvalPath selects the step-I physical execution layer (default
+// StreamingEval). Results are identical through both paths; use
+// MaterializedEval to pin the legacy evaluator, e.g. when bisecting a
+// suspected streaming issue or benchmarking the ablation.
+func WithEvalPath(p EvalPath) Option {
+	return func(c *execConfig) { c.evalPath = p }
+}
+
 // DefaultEps is the anytime target bound width used by Auto and Anytime
 // when WithEps is not given, so selecting the anytime engine never
 // silently degenerates to exact compilation.
@@ -120,6 +157,7 @@ type execConfig struct {
 	samplesSet bool
 	failFast   bool
 	shared     bool
+	evalPath   EvalPath
 }
 
 // failFastOpt restores the legacy sequential error contract (stop at the
@@ -233,6 +271,11 @@ func resolveOptions(opts []Option) (*execConfig, error) {
 	case Auto, Exact, Anytime, Sample:
 	default:
 		return nil, fmt.Errorf("pvcagg: unknown mode %v", c.mode)
+	}
+	switch c.evalPath {
+	case StreamingEval, MaterializedEval:
+	default:
+		return nil, fmt.Errorf("pvcagg: unknown eval path %v", c.evalPath)
 	}
 	if c.epsSet && (c.eps < 0 || c.eps >= 1 || math.IsNaN(c.eps)) {
 		return nil, fmt.Errorf("pvcagg: epsilon %v out of range [0, 1)", c.eps)
@@ -348,6 +391,9 @@ type Strategy struct {
 	// Sample).
 	Samples int
 	Seed    int64
+	// EvalPath is the step-I physical execution layer (streaming by
+	// default; see WithEvalPath).
+	EvalPath EvalPath
 }
 
 func (s Strategy) String() string {
@@ -372,7 +418,7 @@ func (s Strategy) String() string {
 // execution is threaded into the compile options of every strategy (the
 // sampling strategy still compiles aggregation columns exactly).
 func (c *execConfig) build(chosen Mode, verdict *Verdict) (Strategy, engine.ExecConfig, *compile.SharedCache) {
-	strat := Strategy{Requested: c.mode, Chosen: chosen, Verdict: verdict, Parallelism: c.par}
+	strat := Strategy{Requested: c.mode, Chosen: chosen, Verdict: verdict, Parallelism: c.par, EvalPath: c.evalPath}
 	var cache *compile.SharedCache
 	co := c.compile
 	if c.shared {
@@ -548,7 +594,11 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 	if cfg.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 	}
-	rel, construct, err := engine.EvalPlan(ctx, db, plan)
+	evalFn := engine.StreamEvalPlan
+	if cfg.evalPath == MaterializedEval {
+		evalFn = engine.EvalPlan
+	}
+	rel, construct, err := evalFn(ctx, db, plan)
 	if err != nil {
 		if cancel != nil {
 			cancel()

@@ -1,0 +1,906 @@
+package engine
+
+// Streaming (pull/iterator) physical execution — the Volcano-style
+// counterpart of the materializing Plan.Eval path. Every operator is an
+// Iterator with Open/Next/Close semantics:
+//
+//   - Scan streams the stored tuples lazily (no clone);
+//   - δ is free (the child iterator is passed through, only the schema
+//     is renamed at build time);
+//   - σ and π̂ are fully pipelined;
+//   - ⋈ and × share one hash-based pairIter that materializes only its
+//     build (right) side, pre-sized by the Estimator's cardinality
+//     estimate — the build side itself is chosen by the optimizer's
+//     physical pass, which commutes the smaller input to the right;
+//   - σ directly above ⋈/× fuses its leading constant-comparison atoms
+//     into the pairIter so failing pairs are rejected before any output
+//     cells or annotation expressions are allocated;
+//   - π, ∪ and $ are sinks that group incrementally, retaining one
+//     representative cell slice and the annotation expressions per group
+//     instead of buffering their whole input.
+//
+// The stream is bit-for-bit identical to the materializing path: tuples
+// are produced in exactly the order Plan.Eval appends them, so grouping
+// sinks build identical annotation expression trees and StreamEvalPlan's
+// final Sort yields a relation deeply equal to EvalPlan's.
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+	"time"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/value"
+)
+
+// Iterator is a pull-based tuple stream over a Q-algebra plan. Open must
+// be called once before the first Next; Next returns ok=false once the
+// stream is exhausted; Close releases resources, is idempotent, and is
+// safe to call even if Open was never called or Next never ran to
+// exhaustion (early break).
+type Iterator interface {
+	Open() error
+	Next() (t pvc.Tuple, ok bool, err error)
+	Close() error
+}
+
+// ctxPollMask throttles context polling in drain loops to every 256 rows.
+const ctxPollMask = 255
+
+// iterBuilder compiles a Plan into an Iterator tree. All schema
+// resolution and static checks happen here, once per plan — which is why
+// the streaming path reports unknown-column errors even over empty
+// inputs. The Estimator is created lazily on the first ⋈/× so plans
+// without pair operators never pay for table statistics.
+type iterBuilder struct {
+	ctx context.Context
+	db  *pvc.Database
+	s   algebra.Semiring
+	est *Estimator
+}
+
+func newIterBuilder(ctx context.Context, db *pvc.Database) *iterBuilder {
+	return &iterBuilder{ctx: ctx, db: db, s: db.Semiring()}
+}
+
+func (b *iterBuilder) estimator() *Estimator {
+	if b.est == nil {
+		b.est = NewEstimator(b.db)
+	}
+	return b.est
+}
+
+// build returns the iterator together with the output schema and the
+// relation name the materializing path would produce.
+func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
+	switch n := p.(type) {
+	case *Scan:
+		r, err := b.db.Relation(n.Table)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return &sliceIter{tuples: r.Tuples}, r.Schema, r.Name, nil
+
+	case *Rename:
+		child, cs, cname, err := b.build(n.Input)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		i := cs.Index(n.From)
+		if i < 0 {
+			return nil, nil, "", fmt.Errorf("engine: δ: unknown column %q in %s", n.From, n.Input)
+		}
+		if j := cs.Index(n.To); j >= 0 {
+			return nil, nil, "", fmt.Errorf("engine: δ: column %q already exists", n.To)
+		}
+		schema := cs.Clone()
+		schema[i].Name = n.To
+		return child, schema, fmt.Sprintf("δ(%s)", cname), nil
+
+	case *Select:
+		switch n.Input.(type) {
+		case *Join, *Product:
+			return b.buildFusedSelect(n)
+		}
+		child, cs, cname, err := b.build(n.Input)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		atoms, err := resolveSelAtoms(n.Pred, cs)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return &selectIter{child: child, atoms: atoms, s: b.s}, cs, fmt.Sprintf("σ(%s)", cname), nil
+
+	case *Project:
+		child, cs, cname, err := b.build(n.Input)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		idx := make([]int, len(n.Cols))
+		schema := make(pvc.Schema, len(n.Cols))
+		for i, c := range n.Cols {
+			j := cs.Index(c)
+			if j < 0 {
+				return nil, nil, "", fmt.Errorf("engine: π: unknown column %q", c)
+			}
+			if cs[j].Type == pvc.TModule {
+				return nil, nil, "", fmt.Errorf("engine: π: column %q is an aggregation attribute (Definition 5 constraint 1)", c)
+			}
+			idx[i] = j
+			schema[i] = cs[j]
+		}
+		it := &projectIter{ctx: b.ctx, s: b.s, child: child, idx: idx}
+		return it, schema, fmt.Sprintf("π(%s)", cname), nil
+
+	case *Prune:
+		child, cs, cname, err := b.build(n.Input)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		idx := make([]int, len(n.Cols))
+		schema := make(pvc.Schema, len(n.Cols))
+		for i, c := range n.Cols {
+			j := cs.Index(c)
+			if j < 0 {
+				return nil, nil, "", fmt.Errorf("engine: π̂: unknown column %q", c)
+			}
+			idx[i] = j
+			schema[i] = cs[j]
+		}
+		return &pruneIter{child: child, idx: idx}, schema, fmt.Sprintf("π̂(%s)", cname), nil
+
+	case *Join, *Product:
+		it, schema, name, _, err := b.buildPair(p)
+		return it, schema, name, err
+
+	case *Union:
+		lIt, ls, lname, err := b.build(n.L)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		rIt, rs, rname, err := b.build(n.R)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if !ls.Equal(rs) {
+			return nil, nil, "", fmt.Errorf("engine: ∪: incompatible schemas %v and %v", ls.Names(), rs.Names())
+		}
+		for _, c := range ls {
+			if c.Type == pvc.TModule {
+				return nil, nil, "", fmt.Errorf("engine: ∪: aggregation column %q (Definition 5 constraint 2)", c.Name)
+			}
+		}
+		it := &unionIter{ctx: b.ctx, s: b.s, l: lIt, r: rIt}
+		return it, ls, fmt.Sprintf("(%s∪%s)", lname, rname), nil
+
+	case *GroupAgg:
+		child, cs, cname, err := b.build(n.Input)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		gIdx := make([]int, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			j := cs.Index(g)
+			if j < 0 {
+				return nil, nil, "", fmt.Errorf("engine: $: unknown group-by column %q", g)
+			}
+			if cs[j].Type == pvc.TModule {
+				return nil, nil, "", fmt.Errorf("engine: $: group-by column %q is an aggregation attribute", g)
+			}
+			gIdx[i] = j
+		}
+		aggs := make([]aggColRef, len(n.Aggs))
+		for i, a := range n.Aggs {
+			idx := -1
+			if a.Agg != algebra.Count {
+				idx = cs.Index(a.Over)
+				if idx < 0 {
+					return nil, nil, "", fmt.Errorf("engine: $: unknown aggregation column %q", a.Over)
+				}
+				if cs[idx].Type != pvc.TValue {
+					return nil, nil, "", fmt.Errorf("engine: $: aggregation over non-value column %q", a.Over)
+				}
+			}
+			aggs[i] = aggColRef{a, idx}
+		}
+		schema := make(pvc.Schema, 0, len(gIdx)+len(aggs))
+		for _, j := range gIdx {
+			schema = append(schema, cs[j])
+		}
+		for _, a := range aggs {
+			schema = append(schema, pvc.Col{Name: a.spec.Out, Type: pvc.TModule, Agg: a.spec.Agg})
+		}
+		it := &groupAggIter{
+			ctx: b.ctx, s: b.s, child: child,
+			gIdx: gIdx, aggs: aggs, grouped: len(n.GroupBy) > 0,
+		}
+		return it, schema, fmt.Sprintf("$(%s)", cname), nil
+
+	default:
+		return nil, nil, "", fmt.Errorf("engine: streaming: unsupported plan node %T", p)
+	}
+}
+
+// pairRef addresses one cell of a ⋈/× output tuple without materializing
+// it: side 0 is the probe (left) input, side 1 the build (right) input.
+type pairRef struct{ side, idx int }
+
+// pairAtom is a σ comparison fused into a pairIter: both operands are
+// statically known to be constant cells, so the atom filters (lt, rt)
+// pairs before the output tuple is allocated.
+type pairAtom struct {
+	l  pairRef
+	th value.Theta
+	r  pairRef   // valid when rv == nil
+	rv *pvc.Cell // right constant; nil when comparing two columns
+}
+
+func pairCell(lt, rt pvc.Tuple, r pairRef) pvc.Cell {
+	if r.side == 0 {
+		return lt.Cells[r.idx]
+	}
+	return rt.Cells[r.idx]
+}
+
+// buildPair compiles a *Join or *Product into a pairIter, also returning
+// the output schema, relation name, and the cell-address table used by
+// σ fusion.
+func (b *iterBuilder) buildPair(p Plan) (*pairIter, pvc.Schema, string, []pairRef, error) {
+	var lp, rp Plan
+	join := false
+	switch n := p.(type) {
+	case *Join:
+		lp, rp, join = n.L, n.R, true
+	case *Product:
+		lp, rp = n.L, n.R
+	}
+	lIt, ls, lname, err := b.build(lp)
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	rIt, rs, rname, err := b.build(rp)
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	var shared []string
+	if join {
+		for _, c := range ls {
+			if j := rs.Index(c.Name); j >= 0 {
+				if c.Type == pvc.TModule || rs[j].Type == pvc.TModule {
+					return nil, nil, "", nil, fmt.Errorf("engine: ⋈: aggregation column %q cannot be a join key", c.Name)
+				}
+				shared = append(shared, c.Name)
+			}
+		}
+	} else {
+		for _, c := range rs {
+			if ls.Index(c.Name) >= 0 {
+				return nil, nil, "", nil, fmt.Errorf("engine: ×: duplicate column %q (rename first)", c.Name)
+			}
+		}
+	}
+	schema := ls.Clone()
+	var rCols []int
+	for j, c := range rs {
+		if join && ls.Index(c.Name) >= 0 {
+			continue
+		}
+		schema = append(schema, c)
+		rCols = append(rCols, j)
+	}
+	lKey := make([]int, len(shared))
+	rKey := make([]int, len(shared))
+	for i, name := range shared {
+		lKey[i] = ls.Index(name)
+		rKey[i] = rs.Index(name)
+	}
+	refs := make([]pairRef, len(schema))
+	for i := range ls {
+		refs[i] = pairRef{0, i}
+	}
+	for i, j := range rCols {
+		refs[len(ls)+i] = pairRef{1, j}
+	}
+	// Pre-size the build side from the Estimator's cardinality estimate.
+	buildCap := 0
+	if rows := b.estimator().Estimate(rp).Rows; rows > 0 {
+		if rows > 1<<20 {
+			rows = 1 << 20
+		}
+		buildCap = int(rows)
+	}
+	name := fmt.Sprintf("(%s×%s)", lname, rname)
+	if join {
+		name = fmt.Sprintf("(%s⋈%s)", lname, rname)
+	}
+	it := &pairIter{
+		ctx: b.ctx, s: b.s, left: lIt, right: rIt,
+		lKey: lKey, rKey: rKey, rCols: rCols, buildCap: buildCap,
+	}
+	return it, schema, name, refs, nil
+}
+
+// buildFusedSelect compiles σ directly above ⋈/×, pushing the leading
+// run of constant-comparison atoms into the pairIter (preserving the
+// materializing path's per-tuple atom evaluation order exactly: fused
+// atoms are a prefix, so short-circuiting and error precedence are
+// unchanged). Atoms from the first aggregation-column comparison onward
+// stay in a residual selectIter above the pair.
+func (b *iterBuilder) buildFusedSelect(n *Select) (Iterator, pvc.Schema, string, error) {
+	pit, schema, name, refs, err := b.buildPair(n.Input)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	atoms, err := resolveSelAtoms(n.Pred, schema)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	k := 0
+	for k < len(atoms) {
+		a := atoms[k]
+		if schema[a.li].Type == pvc.TModule {
+			break // left operand can hold an expression cell
+		}
+		if a.rv != nil {
+			if !a.rv.IsConst() {
+				break
+			}
+		} else if schema[a.ri].Type == pvc.TModule {
+			break
+		}
+		k++
+	}
+	for _, a := range atoms[:k] {
+		fa := pairAtom{l: refs[a.li], th: a.th, rv: a.rv}
+		if a.rv == nil {
+			fa.r = refs[a.ri]
+		}
+		pit.fused = append(pit.fused, fa)
+	}
+	name = fmt.Sprintf("σ(%s)", name)
+	if k == len(atoms) {
+		// Every atom fused: the σ-level zero-annotation drop moves into
+		// the pair iterator.
+		pit.dropZero = true
+		return pit, schema, name, nil
+	}
+	return &selectIter{child: pit, atoms: atoms[k:], s: b.s}, schema, name, nil
+}
+
+// sliceIter streams a stored relation's tuples in place — the lazy Scan.
+type sliceIter struct {
+	tuples []pvc.Tuple
+	i      int
+}
+
+func (it *sliceIter) Open() error { return nil }
+
+func (it *sliceIter) Next() (pvc.Tuple, bool, error) {
+	if it.i >= len(it.tuples) {
+		return pvc.Tuple{}, false, nil
+	}
+	t := it.tuples[it.i]
+	it.i++
+	return t, true, nil
+}
+
+func (it *sliceIter) Close() error { return nil }
+
+// selectIter pipelines σ: atoms are resolved once at build time.
+type selectIter struct {
+	child Iterator
+	atoms []selAtom
+	s     algebra.Semiring
+}
+
+func (it *selectIter) Open() error { return it.child.Open() }
+
+func (it *selectIter) Next() (pvc.Tuple, bool, error) {
+	for {
+		t, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return pvc.Tuple{}, false, err
+		}
+		ann, keep, err := applySelAtoms(it.atoms, t, it.s)
+		if err != nil {
+			return pvc.Tuple{}, false, err
+		}
+		if keep {
+			return pvc.Tuple{Cells: t.Cells, Ann: ann}, true, nil
+		}
+	}
+}
+
+func (it *selectIter) Close() error { return it.child.Close() }
+
+// pruneIter pipelines π̂: per-tuple column projection, no collapsing.
+type pruneIter struct {
+	child Iterator
+	idx   []int
+}
+
+func (it *pruneIter) Open() error { return it.child.Open() }
+
+func (it *pruneIter) Next() (pvc.Tuple, bool, error) {
+	t, ok, err := it.child.Next()
+	if err != nil || !ok {
+		return pvc.Tuple{}, false, err
+	}
+	cells := make([]pvc.Cell, len(it.idx))
+	for i, j := range it.idx {
+		cells[i] = t.Cells[j]
+	}
+	return pvc.Tuple{Cells: cells, Ann: t.Ann}, true, nil
+}
+
+func (it *pruneIter) Close() error { return it.child.Close() }
+
+// pairIter is the shared hash-based ⋈/× iterator: the right child is the
+// build side (materialized into a hash table pre-sized by the Estimator,
+// then closed), the left child is probed lazily in order, so emission is
+// left-major exactly like the materializing nested loop. A × is a ⋈ with
+// no key columns: every tuple hashes to the single empty-key bucket.
+// Fused σ atoms reject pairs before output cells or the product
+// annotation are constructed.
+type pairIter struct {
+	ctx         context.Context
+	s           algebra.Semiring
+	left, right Iterator
+	lKey, rKey  []int
+	rCols       []int
+	fused       []pairAtom
+	dropZero    bool
+	buildCap    int
+
+	built       bool
+	rightClosed bool
+	idx         map[string][]pvc.Tuple
+	cur         pvc.Tuple
+	bucket      []pvc.Tuple
+	bi          int
+}
+
+func (it *pairIter) Open() error { return it.left.Open() }
+
+func (it *pairIter) buildTable() error {
+	it.built = true
+	if err := it.right.Open(); err != nil {
+		return err
+	}
+	it.idx = make(map[string][]pvc.Tuple, it.buildCap)
+	if len(it.rKey) == 0 && it.buildCap > 0 {
+		// ×: everything lands in one bucket — pre-size it.
+		it.idx[""] = make([]pvc.Tuple, 0, it.buildCap)
+	}
+	for n := 0; ; n++ {
+		rt, ok, err := it.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := joinKey(rt, it.rKey)
+		it.idx[k] = append(it.idx[k], rt)
+		if n&ctxPollMask == ctxPollMask {
+			if err := it.ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	it.rightClosed = true
+	return it.right.Close()
+}
+
+func (it *pairIter) Next() (pvc.Tuple, bool, error) {
+	if !it.built {
+		if err := it.buildTable(); err != nil {
+			return pvc.Tuple{}, false, err
+		}
+	}
+	for {
+		for it.bi < len(it.bucket) {
+			rt := it.bucket[it.bi]
+			it.bi++
+			lt := it.cur
+			pass := true
+			for _, a := range it.fused {
+				lc := pairCell(lt, rt, a.l)
+				var rc pvc.Cell
+				if a.rv != nil {
+					rc = *a.rv
+				} else {
+					rc = pairCell(lt, rt, a.r)
+				}
+				if !constSatisfies(lc, a.th, rc) {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			ann := expr.Simplify(expr.Product(lt.Ann, rt.Ann), it.s)
+			if it.dropZero {
+				if c, isConst := ann.(expr.Const); isConst && c.V == it.s.Zero() {
+					continue
+				}
+			}
+			cells := make([]pvc.Cell, 0, len(lt.Cells)+len(it.rCols))
+			cells = append(cells, lt.Cells...)
+			for _, j := range it.rCols {
+				cells = append(cells, rt.Cells[j])
+			}
+			return pvc.Tuple{Cells: cells, Ann: ann}, true, nil
+		}
+		lt, ok, err := it.left.Next()
+		if err != nil || !ok {
+			return pvc.Tuple{}, false, err
+		}
+		it.cur = lt
+		it.bucket = it.idx[joinKey(lt, it.lKey)]
+		it.bi = 0
+	}
+}
+
+func (it *pairIter) Close() error {
+	err := it.left.Close()
+	if !it.rightClosed {
+		it.rightClosed = true
+		if e := it.right.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// unionIter is the ∪ sink: it drains both sides on the first Next,
+// grouping duplicate tuples in encounter order (left side first) and
+// retaining only one representative cell slice plus the annotation
+// expressions per group; results are emitted incrementally.
+type unionIter struct {
+	ctx  context.Context
+	s    algebra.Semiring
+	l, r Iterator
+
+	drained    bool
+	order      []string
+	groupCells map[string][]pvc.Cell
+	groupAnns  map[string][]expr.Expr
+	i          int
+}
+
+func (it *unionIter) Open() error {
+	if err := it.l.Open(); err != nil {
+		return err
+	}
+	return it.r.Open()
+}
+
+func (it *unionIter) drain() error {
+	it.drained = true
+	it.groupCells = map[string][]pvc.Cell{}
+	it.groupAnns = map[string][]expr.Expr{}
+	for _, side := range [2]Iterator{it.l, it.r} {
+		for n := 0; ; n++ {
+			t, ok, err := side.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			key := t.Key()
+			if _, seen := it.groupCells[key]; !seen {
+				it.order = append(it.order, key)
+				it.groupCells[key] = t.Cells
+			}
+			it.groupAnns[key] = append(it.groupAnns[key], t.Ann)
+			if n&ctxPollMask == ctxPollMask {
+				if err := it.ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (it *unionIter) Next() (pvc.Tuple, bool, error) {
+	if !it.drained {
+		if err := it.drain(); err != nil {
+			return pvc.Tuple{}, false, err
+		}
+	}
+	if it.i >= len(it.order) {
+		return pvc.Tuple{}, false, nil
+	}
+	key := it.order[it.i]
+	it.i++
+	ann := expr.Simplify(expr.Sum(it.groupAnns[key]...), it.s)
+	return pvc.Tuple{Cells: it.groupCells[key], Ann: ann}, true, nil
+}
+
+func (it *unionIter) Close() error {
+	err := it.l.Close()
+	if e := it.r.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// projectIter is the π sink: like unionIter it groups in encounter
+// order, but projects onto idx first. The group key is computed directly
+// from the input cells — the projected cell slice is only allocated for
+// the first tuple of each group.
+type projectIter struct {
+	ctx   context.Context
+	s     algebra.Semiring
+	child Iterator
+	idx   []int
+
+	drained    bool
+	order      []string
+	groupCells map[string][]pvc.Cell
+	groupAnns  map[string][]expr.Expr
+	i          int
+}
+
+func (it *projectIter) Open() error { return it.child.Open() }
+
+func (it *projectIter) drain() error {
+	it.drained = true
+	it.groupCells = map[string][]pvc.Cell{}
+	it.groupAnns = map[string][]expr.Expr{}
+	for n := 0; ; n++ {
+		t, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		key := joinKey(t, it.idx)
+		if _, seen := it.groupCells[key]; !seen {
+			cells := make([]pvc.Cell, len(it.idx))
+			for i, j := range it.idx {
+				cells[i] = t.Cells[j]
+			}
+			it.order = append(it.order, key)
+			it.groupCells[key] = cells
+		}
+		it.groupAnns[key] = append(it.groupAnns[key], t.Ann)
+		if n&ctxPollMask == ctxPollMask {
+			if err := it.ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (it *projectIter) Next() (pvc.Tuple, bool, error) {
+	if !it.drained {
+		if err := it.drain(); err != nil {
+			return pvc.Tuple{}, false, err
+		}
+	}
+	if it.i >= len(it.order) {
+		return pvc.Tuple{}, false, nil
+	}
+	key := it.order[it.i]
+	it.i++
+	ann := expr.Simplify(expr.Sum(it.groupAnns[key]...), it.s)
+	return pvc.Tuple{Cells: it.groupCells[key], Ann: ann}, true, nil
+}
+
+func (it *projectIter) Close() error { return it.child.Close() }
+
+// aggColRef is an AggSpec with its Over column resolved (idx < 0 for
+// COUNT, which reads no column).
+type aggColRef struct {
+	spec AggSpec
+	idx  int
+}
+
+// gaGroup accumulates one $ group incrementally: the representative
+// group-by cells, the per-aggregation semimodule terms, and the row
+// annotations for the Figure 4 non-emptiness condition — all in row
+// arrival order, matching the materializing path's expression structure.
+type gaGroup struct {
+	cells []pvc.Cell
+	terms [][]expr.Expr
+	anns  []expr.Expr
+}
+
+// groupAggIter is the $ sink.
+type groupAggIter struct {
+	ctx     context.Context
+	s       algebra.Semiring
+	child   Iterator
+	gIdx    []int
+	aggs    []aggColRef
+	grouped bool
+
+	drained bool
+	groups  map[string]*gaGroup
+	order   []string
+	i       int
+}
+
+func (it *groupAggIter) Open() error { return it.child.Open() }
+
+func (it *groupAggIter) drain() error {
+	it.drained = true
+	it.groups = map[string]*gaGroup{}
+	for n := 0; ; n++ {
+		t, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := joinKey(t, it.gIdx)
+		g, seen := it.groups[key]
+		if !seen {
+			cells := make([]pvc.Cell, len(it.gIdx))
+			for i, j := range it.gIdx {
+				cells[i] = t.Cells[j]
+			}
+			g = &gaGroup{cells: cells, terms: make([][]expr.Expr, len(it.aggs))}
+			it.groups[key] = g
+			it.order = append(it.order, key)
+		}
+		for ai, a := range it.aggs {
+			var mv value.V
+			if a.spec.Agg == algebra.Count {
+				mv = value.Int(1)
+			} else {
+				c := t.Cells[a.idx]
+				if c.Kind() != pvc.KindValue {
+					return fmt.Errorf("engine: $: aggregated cell %s is not a constant", c)
+				}
+				mv = c.Value()
+			}
+			g.terms[ai] = append(g.terms[ai], expr.Scale(a.spec.Agg, t.Ann, mv))
+		}
+		g.anns = append(g.anns, t.Ann)
+		if n&ctxPollMask == ctxPollMask {
+			if err := it.ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	// Figure 4: without grouping, the result is one tuple (neutral values
+	// on empty input) annotated 1K.
+	if !it.grouped && len(it.order) == 0 {
+		it.order = append(it.order, "")
+		it.groups[""] = &gaGroup{terms: make([][]expr.Expr, len(it.aggs))}
+	}
+	sort.Strings(it.order)
+	return nil
+}
+
+func (it *groupAggIter) Next() (pvc.Tuple, bool, error) {
+	if !it.drained {
+		if err := it.drain(); err != nil {
+			return pvc.Tuple{}, false, err
+		}
+	}
+	if it.i >= len(it.order) {
+		return pvc.Tuple{}, false, nil
+	}
+	g := it.groups[it.order[it.i]]
+	it.i++
+	cells := make([]pvc.Cell, 0, len(g.cells)+len(it.aggs))
+	cells = append(cells, g.cells...)
+	for ai, a := range it.aggs {
+		terms := g.terms[ai]
+		var agg expr.Expr
+		if len(terms) == 0 {
+			agg = expr.MConst{V: algebra.MonoidFor(a.spec.Agg).Neutral()}
+		} else {
+			agg = expr.Simplify(expr.MSum(a.spec.Agg, terms...), it.s)
+		}
+		cells = append(cells, pvc.ExprCell(agg))
+	}
+	var ann expr.Expr = expr.CInt(1)
+	if it.grouped {
+		ann = expr.Simplify(
+			expr.Compare(value.NE, expr.Sum(g.anns...), expr.CInt(0)), it.s)
+	}
+	return pvc.Tuple{Cells: cells, Ann: ann}, true, nil
+}
+
+func (it *groupAggIter) Close() error { return it.child.Close() }
+
+// NewIterator compiles a plan into a streaming iterator and its output
+// schema. The context is captured for cancellation checks inside drain
+// and build loops; the caller owns Open/Next/Close.
+func NewIterator(ctx context.Context, db *pvc.Database, plan Plan) (Iterator, pvc.Schema, error) {
+	it, schema, _, err := newIterBuilder(ctx, db).build(plan)
+	return it, schema, err
+}
+
+// StreamEvalPlan is EvalPlan over the streaming execution layer: it runs
+// step I through the iterator tree and returns the sorted result
+// pvc-table and the construction time. The result is bit-for-bit
+// identical to EvalPlan's.
+func StreamEvalPlan(ctx context.Context, db *pvc.Database, plan Plan) (*pvc.Relation, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	t0 := time.Now()
+	it, schema, name, err := newIterBuilder(ctx, db).build(plan)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		return nil, 0, err
+	}
+	rel := pvc.NewRelation(name, schema)
+	for n := 0; ; n++ {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		rel.Tuples = append(rel.Tuples, t)
+		if n&ctxPollMask == ctxPollMask {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	rel.Sort()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return rel, time.Since(t0), nil
+}
+
+// Iterate exposes the streaming layer as an iter.Seq2: tuples arrive in
+// pipeline (construction) order, NOT in the sorted order EvalPlan
+// returns. Breaking out of the range closes the iterator tree; a non-nil
+// error is yielded at most once, as the final element.
+func Iterate(ctx context.Context, db *pvc.Database, plan Plan) iter.Seq2[pvc.Tuple, error] {
+	return func(yield func(pvc.Tuple, error) bool) {
+		it, _, _, err := newIterBuilder(ctx, db).build(plan)
+		if err != nil {
+			yield(pvc.Tuple{}, err)
+			return
+		}
+		defer it.Close()
+		if err := it.Open(); err != nil {
+			yield(pvc.Tuple{}, err)
+			return
+		}
+		for n := 0; ; n++ {
+			t, ok, err := it.Next()
+			if err != nil {
+				yield(pvc.Tuple{}, err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if !yield(t, nil) {
+				return
+			}
+			if n&ctxPollMask == ctxPollMask {
+				if err := ctx.Err(); err != nil {
+					yield(pvc.Tuple{}, err)
+					return
+				}
+			}
+		}
+	}
+}

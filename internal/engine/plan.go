@@ -184,10 +184,79 @@ func (p *Rename) Eval(db *pvc.Database) (*pvc.Relation, error) {
 	if j := in.Schema.Index(p.To); j >= 0 {
 		return nil, fmt.Errorf("engine: δ: column %q already exists", p.To)
 	}
-	out := in.Clone()
-	out.Name = fmt.Sprintf("δ(%s)", in.Name)
+	// δ touches only the schema: share the tuple storage (tuples and cells
+	// are immutable) instead of copying every row.
+	out := &pvc.Relation{
+		Name:   fmt.Sprintf("δ(%s)", in.Name),
+		Schema: in.Schema.Clone(),
+		Tuples: in.Tuples,
+	}
 	out.Schema[i].Name = p.To
 	return out, nil
+}
+
+// selAtom is one σ comparison with its column references resolved to
+// cell indices — resolved once per evaluation, not once per tuple, so an
+// unknown column errors even over an empty input.
+type selAtom struct {
+	li int
+	th value.Theta
+	ri int       // right column index; -1 when comparing against a constant
+	rv *pvc.Cell // right constant; nil when comparing against a column
+}
+
+// resolveSelAtoms resolves a σ predicate against the input schema.
+func resolveSelAtoms(pred Pred, schema pvc.Schema) ([]selAtom, error) {
+	atoms := make([]selAtom, len(pred.Atoms))
+	for i, a := range pred.Atoms {
+		li := schema.Index(a.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("engine: σ: unknown column %q", a.Left)
+		}
+		ri := -1
+		if a.RightVal == nil {
+			ri = schema.Index(a.RightCol)
+			if ri < 0 {
+				return nil, fmt.Errorf("engine: σ: unknown column %q", a.RightCol)
+			}
+		}
+		atoms[i] = selAtom{li: li, th: a.Th, ri: ri, rv: a.RightVal}
+	}
+	return atoms, nil
+}
+
+// applySelAtoms applies resolved σ atoms to one tuple: comparisons of
+// constant cells filter, comparisons involving an aggregation value
+// multiply the annotation with the condition (Figure 4: Φ ·K [A θ B]).
+// The returned annotation is valid only when keep is true; a tuple whose
+// annotation simplifies to the semiring zero is dropped too (the
+// condition is unsatisfiable in every world).
+func applySelAtoms(atoms []selAtom, t pvc.Tuple, s algebra.Semiring) (ann expr.Expr, keep bool, err error) {
+	ann = t.Ann
+	for _, a := range atoms {
+		var right pvc.Cell
+		if a.rv != nil {
+			right = *a.rv
+		} else {
+			right = t.Cells[a.ri]
+		}
+		left := t.Cells[a.li]
+		if left.IsConst() && right.IsConst() {
+			if !constSatisfies(left, a.th, right) {
+				return nil, false, nil
+			}
+			continue
+		}
+		cond, err := comparisonExpr(left, a.th, right)
+		if err != nil {
+			return nil, false, err
+		}
+		ann = expr.Simplify(expr.Product(ann, cond), s)
+	}
+	if c, ok := ann.(expr.Const); ok && c.V == s.Zero() {
+		return nil, false, nil
+	}
+	return ann, true, nil
 }
 
 func (p *Select) Eval(db *pvc.Database) (*pvc.Relation, error) {
@@ -196,45 +265,18 @@ func (p *Select) Eval(db *pvc.Database) (*pvc.Relation, error) {
 		return nil, err
 	}
 	s := db.Semiring()
+	atoms, err := resolveSelAtoms(p.Pred, in.Schema)
+	if err != nil {
+		return nil, err
+	}
 	out := pvc.NewRelation(fmt.Sprintf("σ(%s)", in.Name), in.Schema)
 	for _, t := range in.Tuples {
-		keep := true
-		ann := t.Ann
-		for _, a := range p.Pred.Atoms {
-			li := in.Schema.Index(a.Left)
-			if li < 0 {
-				return nil, fmt.Errorf("engine: σ: unknown column %q", a.Left)
-			}
-			var right pvc.Cell
-			if a.RightVal != nil {
-				right = *a.RightVal
-			} else {
-				ri := in.Schema.Index(a.RightCol)
-				if ri < 0 {
-					return nil, fmt.Errorf("engine: σ: unknown column %q", a.RightCol)
-				}
-				right = t.Cells[ri]
-			}
-			left := t.Cells[li]
-			if left.IsConst() && right.IsConst() {
-				if !constSatisfies(left, a.Th, right) {
-					keep = false
-					break
-				}
-				continue
-			}
-			// An aggregation column is involved: Φ ·K [A θ B].
-			cond, err := comparisonExpr(left, a.Th, right)
-			if err != nil {
-				return nil, err
-			}
-			ann = expr.Simplify(expr.Product(ann, cond), s)
+		ann, keep, err := applySelAtoms(atoms, t, s)
+		if err != nil {
+			return nil, err
 		}
 		if !keep {
 			continue
-		}
-		if c, ok := ann.(expr.Const); ok && c.V == s.Zero() {
-			continue // the condition is unsatisfiable in every world
 		}
 		out.Tuples = append(out.Tuples, pvc.Tuple{Cells: t.Cells, Ann: ann})
 	}
@@ -382,6 +424,22 @@ func (p *Product) Eval(db *pvc.Database) (*pvc.Relation, error) {
 	return out, nil
 }
 
+// joinKey encodes the cells at idx as a composite hash key — cell keys
+// joined by 0x1f, the same encoding Tuple.Key uses.
+func joinKey(t pvc.Tuple, idx []int) string {
+	if len(idx) == 1 {
+		return t.Cells[idx[0]].Key()
+	}
+	var b strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(t.Cells[j].Key())
+	}
+	return b.String()
+}
+
 func (p *Join) Eval(db *pvc.Database) (*pvc.Relation, error) {
 	l, err := p.L.Eval(db)
 	if err != nil {
@@ -411,21 +469,21 @@ func (p *Join) Eval(db *pvc.Database) (*pvc.Relation, error) {
 		}
 	}
 	out := pvc.NewRelation(fmt.Sprintf("(%s⋈%s)", l.Name, r.Name), schema)
-	// Hash the right side on the join key.
-	rIdx := map[string][]pvc.Tuple{}
-	keyOf := func(sch pvc.Schema, t pvc.Tuple) string {
-		parts := make([]string, len(shared))
-		for i, name := range shared {
-			parts[i] = t.Cells[sch.Index(name)].Key()
-		}
-		return strings.Join(parts, "\x1f")
+	// Hash the right side on the join key. Key-column indices are resolved
+	// once per side, not once per tuple.
+	lKey := make([]int, len(shared))
+	rKey := make([]int, len(shared))
+	for i, name := range shared {
+		lKey[i] = l.Schema.Index(name)
+		rKey[i] = r.Schema.Index(name)
 	}
+	rIdx := map[string][]pvc.Tuple{}
 	for _, rt := range r.Tuples {
-		k := keyOf(r.Schema, rt)
+		k := joinKey(rt, rKey)
 		rIdx[k] = append(rIdx[k], rt)
 	}
 	for _, lt := range l.Tuples {
-		for _, rt := range rIdx[keyOf(l.Schema, lt)] {
+		for _, rt := range rIdx[joinKey(lt, lKey)] {
 			cells := make([]pvc.Cell, 0, len(lt.Cells)+len(rCols))
 			cells = append(cells, lt.Cells...)
 			for _, j := range rCols {
@@ -460,13 +518,16 @@ func (p *Union) Eval(db *pvc.Database) (*pvc.Relation, error) {
 	groupAnns := map[string][]expr.Expr{}
 	groupCells := map[string][]pvc.Cell{}
 	var order []string
-	for _, t := range append(append([]pvc.Tuple{}, l.Tuples...), r.Tuples...) {
-		key := t.Key()
-		if _, ok := groupCells[key]; !ok {
-			order = append(order, key)
-			groupCells[key] = t.Cells
+	// Iterate both sides in place — no need to concatenate into a copy.
+	for _, side := range [2][]pvc.Tuple{l.Tuples, r.Tuples} {
+		for _, t := range side {
+			key := t.Key()
+			if _, ok := groupCells[key]; !ok {
+				order = append(order, key)
+				groupCells[key] = t.Cells
+			}
+			groupAnns[key] = append(groupAnns[key], t.Ann)
 		}
-		groupAnns[key] = append(groupAnns[key], t.Ann)
 	}
 	for _, key := range order {
 		ann := expr.Simplify(expr.Sum(groupAnns[key]...), s)

@@ -1,6 +1,6 @@
 // Package opt is PVQL's logical optimizer: probability-preserving
 // rewrites of Q-algebra plans applied between the binder's naive lowering
-// and execution. Four passes run in order:
+// and execution. Five passes run in order:
 //
 //  1. predicate pushdown — filter atoms (comparisons over constant
 //     columns) sink below joins, products, unions, renames, projections
@@ -22,16 +22,21 @@
 //     scans, dead aggregation specs disappear from $, and renames of
 //     dead columns vanish. π̂ never collapses tuples, so annotations are
 //     untouched.
+//  5. build-side choice (physical.go) — each ⋈ commutes its estimated
+//     smaller input to the right, the side the streaming hash join
+//     materializes as its build table, with a π̂ restoring the column
+//     order; joins whose build side stays under BuildSideThreshold rows
+//     are left alone.
 //
 // Every rewrite preserves the result relation — tuples, annotations and
 // aggregation expressions — exactly, with two documented exceptions that
 // preserve probabilities but may reassociate annotation expressions:
 // fusion of atoms that engine.Select would have applied in a different
 // multiplication order never arises (fused atoms are pure filters), and
-// join reordering permutes the factors of the annotation products. Both
-// are exact in real arithmetic; the differential suite pins them
-// bit-for-bit on dyadic (power-of-two) tuple marginals, where float64
-// arithmetic is exact in any order.
+// join reordering — like the build-side commute of pass 5 — permutes the
+// factors of the annotation products. Both are exact in real arithmetic;
+// the differential suite pins them bit-for-bit on dyadic (power-of-two)
+// tuple marginals, where float64 arithmetic is exact in any order.
 package opt
 
 import (
@@ -50,10 +55,12 @@ func Optimize(p engine.Plan, db *pvc.Database) engine.Plan {
 		return p
 	}
 	live := nameSet(schema.Names())
+	est := engine.NewEstimator(db)
 	p = pushdown(p, db)
 	p = fuse(p, db, live)
-	p = reorder(p, db, engine.NewEstimator(db))
+	p = reorder(p, db, est)
 	p = prunePass(p, db, live)
+	p = buildSides(p, db, est)
 	return p
 }
 

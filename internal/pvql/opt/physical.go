@@ -1,0 +1,67 @@
+package opt
+
+// Physical pass: choose the hash-join build side for the streaming
+// execution layer. The engine's pairIter always materializes its RIGHT
+// input as the hash-table build side and probes the left lazily, so this
+// pass commutes a ⋈ whose left input is estimated smaller — putting the
+// smaller relation in the build position — and restores the original
+// column order with a π̂. Commuting a natural join permutes the factors
+// of every annotation product, which preserves probabilities exactly in
+// real arithmetic (the same documented exception as greedy join
+// reordering); the differential suite pins it bit-for-bit on dyadic
+// marginals.
+
+import (
+	"pvcagg/internal/engine"
+	"pvcagg/internal/pvc"
+)
+
+// BuildSideThreshold is the estimated build-side cardinality below which
+// buildSides leaves a join alone: commuting tiny joins cannot pay for
+// the extra π̂, and keeping small plans untouched preserves existing
+// pinned plan renderings. Tests lower it to force the rewrite.
+var BuildSideThreshold = 64.0
+
+// buildSides rewrites every ⋈ so its smaller input (by estimated
+// cardinality) sits on the right — the side the streaming hash join
+// builds. Children first, so estimates see the final subtrees.
+func buildSides(p engine.Plan, db *pvc.Database, est *engine.Estimator) engine.Plan {
+	switch n := p.(type) {
+	case *engine.Join:
+		j := &engine.Join{L: buildSides(n.L, db, est), R: buildSides(n.R, db, est)}
+		lRows := est.Estimate(j.L).Rows
+		rRows := est.Estimate(j.R).Rows
+		if lRows >= rRows || rRows < BuildSideThreshold {
+			return j
+		}
+		origSchema, err := engine.InferSchema(j, db)
+		if err != nil {
+			return j
+		}
+		flipped := &engine.Join{L: j.R, R: j.L}
+		newSchema, err := engine.InferSchema(flipped, db)
+		if err != nil {
+			return j
+		}
+		if origSchema.Equal(newSchema) {
+			return flipped
+		}
+		return &engine.Prune{Input: flipped, Cols: origSchema.Names()}
+	case *engine.Select:
+		return &engine.Select{Input: buildSides(n.Input, db, est), Pred: n.Pred}
+	case *engine.Rename:
+		return &engine.Rename{Input: buildSides(n.Input, db, est), From: n.From, To: n.To}
+	case *engine.Project:
+		return &engine.Project{Input: buildSides(n.Input, db, est), Cols: n.Cols}
+	case *engine.Prune:
+		return &engine.Prune{Input: buildSides(n.Input, db, est), Cols: n.Cols}
+	case *engine.Product:
+		return &engine.Product{L: buildSides(n.L, db, est), R: buildSides(n.R, db, est)}
+	case *engine.Union:
+		return &engine.Union{L: buildSides(n.L, db, est), R: buildSides(n.R, db, est)}
+	case *engine.GroupAgg:
+		return &engine.GroupAgg{Input: buildSides(n.Input, db, est), GroupBy: n.GroupBy, Aggs: n.Aggs}
+	default:
+		return p
+	}
+}

@@ -1,0 +1,172 @@
+package opt_test
+
+// Streaming-vs-materializing differential: every optimizer-suite
+// template executes the SAME optimized plan through engine.EvalPlan and
+// engine.StreamEvalPlan and must agree bit-for-bit — identical schemas,
+// rows, cells, annotation expression structure, and (at tolerance 0)
+// identical tuple confidences and aggregation distributions. A second
+// run lowers opt.BuildSideThreshold to 1 so the physical build-side pass
+// fires on every join, validating the commute against the naive plan at
+// tolerance 0 as well.
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/engine"
+	"pvcagg/internal/expr"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/pvql"
+	"pvcagg/internal/pvql/bind"
+	"pvcagg/internal/pvql/opt"
+)
+
+// compareStreamMaterialized runs one plan through both execution paths
+// and fails on any divergence, including step II probabilities.
+func compareStreamMaterialized(t *testing.T, ctx context.Context, db *pvc.Database, src string, seed int64, plan engine.Plan) {
+	t.Helper()
+	relM, _, errM := engine.EvalPlan(ctx, db, plan)
+	relS, _, errS := engine.StreamEvalPlan(ctx, db, plan)
+	if (errM == nil) != (errS == nil) {
+		t.Fatalf("seed %d: %q: materializing err %v, streaming err %v", seed, src, errM, errS)
+	}
+	if errM != nil {
+		return
+	}
+	if relM.Name != relS.Name || !relM.Schema.Equal(relS.Schema) {
+		t.Fatalf("seed %d: %q: name/schema differ: %s %v vs %s %v",
+			seed, src, relM.Name, relM.Schema.Names(), relS.Name, relS.Schema.Names())
+	}
+	if relM.Len() != relS.Len() {
+		t.Fatalf("seed %d: %q: %d vs %d rows\nplan: %s", seed, src, relM.Len(), relS.Len(), plan)
+	}
+	for i := range relM.Tuples {
+		mt, st := relM.Tuples[i], relS.Tuples[i]
+		for j := range mt.Cells {
+			if !st.Cells[j].Equal(mt.Cells[j]) {
+				t.Fatalf("seed %d: %q: tuple %d cell %d: %s vs %s", seed, src, i, j, mt.Cells[j], st.Cells[j])
+			}
+		}
+		if !expr.Equal(mt.Ann, st.Ann) {
+			t.Fatalf("seed %d: %q: tuple %d annotation: %s vs %s", seed, src, i, mt.Ann, st.Ann)
+		}
+	}
+	cfg := engine.ExecConfig{Parallelism: 1}
+	outM, err := engine.Outcomes(ctx, db, relM, cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %q: materializing outcomes: %v", seed, src, err)
+	}
+	outS, err := engine.Outcomes(ctx, db, relS, cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %q: streaming outcomes: %v", seed, src, err)
+	}
+	for i := range outM {
+		if outM[i].Confidence != outS[i].Confidence {
+			t.Fatalf("seed %d: %q: tuple %d confidence %v vs %v",
+				seed, src, i, outM[i].Confidence, outS[i].Confidence)
+		}
+		for j := range outM[i].AggDists {
+			if !outM[i].AggDists[j].Equal(outS[i].AggDists[j], 0) {
+				t.Fatalf("seed %d: %q: tuple %d aggregate %d: %v vs %v",
+					seed, src, i, j, outM[i].AggDists[j], outS[i].AggDists[j])
+			}
+		}
+	}
+}
+
+func TestStreamingDifferential(t *testing.T) {
+	ctx := context.Background()
+	const queries = 120
+	ran := 0
+	for seed := int64(5000); ran < queries; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := diffDB(rng)
+		src := randQuery(rng)
+		q, err := pvql.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(%q): %v", seed, src, err)
+		}
+		naive, err := bind.Bind(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: Bind(%q): %v", seed, src, err)
+		}
+		compareStreamMaterialized(t, ctx, db, src, seed, naive)
+		compareStreamMaterialized(t, ctx, db, src, seed, opt.Optimize(naive, db))
+		ran++
+	}
+}
+
+// TestStreamingDifferentialForcedBuildSides lowers BuildSideThreshold so
+// the physical pass commutes every eligible join, then holds three
+// comparisons at tolerance 0: naive vs rewritten (the commute preserves
+// answers), rewritten through streaming vs materializing, and
+// idempotence of the full pipeline.
+func TestStreamingDifferentialForcedBuildSides(t *testing.T) {
+	defer func(old float64) { opt.BuildSideThreshold = old }(opt.BuildSideThreshold)
+	opt.BuildSideThreshold = 1
+	ctx := context.Background()
+	const queries = 60
+	ran := 0
+	for seed := int64(9000); ran < queries; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := diffDB(rng)
+		src := randQuery(rng)
+		q, err := pvql.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(%q): %v", seed, src, err)
+		}
+		naive, err := bind.Bind(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: Bind(%q): %v", seed, src, err)
+		}
+		optimized := opt.Optimize(naive, db)
+		compareBitForBit(t, ctx, db, src, seed, naive, optimized)
+		compareBitForBit(t, ctx, db, src, seed, naive, opt.Optimize(optimized, db))
+		compareStreamMaterialized(t, ctx, db, src, seed, optimized)
+		ran++
+	}
+}
+
+// TestBuildSidePass pins the plan shape: a join whose left input is
+// estimated smaller than its right commutes — the smaller side moves to
+// the build (right) position — and a π̂ restores the column order.
+func TestBuildSidePass(t *testing.T) {
+	db := pvc.NewDatabase(algebra.Boolean)
+	small := pvc.NewRelation("SM", pvc.Schema{
+		{Name: "a", Type: pvc.TValue},
+		{Name: "x", Type: pvc.TValue},
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := db.InsertIndependent(small, 0.5, pvc.IntCell(int64(i%3)), pvc.IntCell(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(small)
+	big := pvc.NewRelation("BG", pvc.Schema{
+		{Name: "a", Type: pvc.TValue},
+		{Name: "y", Type: pvc.TValue},
+	})
+	for i := 0; i < 100; i++ {
+		if _, err := db.InsertIndependent(big, 0.5, pvc.IntCell(int64(i%3)), pvc.IntCell(int64(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Add(big)
+
+	naive := &engine.Join{L: &engine.Scan{Table: "SM"}, R: &engine.Scan{Table: "BG"}}
+	optimized := opt.Optimize(naive, db)
+	rendered := optimized.String()
+	if !strings.Contains(rendered, "BG ⋈ SM") {
+		t.Fatalf("build-side pass did not move the smaller input to the build side: %s", rendered)
+	}
+	if !strings.Contains(rendered, "π̂") {
+		t.Fatalf("commuted join is missing the column-order-restoring π̂: %s", rendered)
+	}
+	compareBitForBit(t, context.Background(), db, "SM⋈BG", 0, naive, optimized)
+	// Idempotent: a second optimization must not flip the join back.
+	again := opt.Optimize(optimized, db)
+	compareBitForBit(t, context.Background(), db, "SM⋈BG twice", 0, naive, again)
+}

@@ -78,6 +78,26 @@
 // Bare expressions run through ExecExpr and already-evaluated pvc-tables
 // through ExecTable, with the same options.
 //
+// # Execution model
+//
+// Step I — evaluating the plan into the annotated answer relation — has
+// two physical paths selected by WithEvalPath and recorded in
+// Result.Strategy.EvalPath:
+//
+//   - StreamingEval (the default): a pull-iterator pipeline. Scans are
+//     lazy, selections/renames/prunes pipeline tuple-at-a-time, joins
+//     and products hash only their build side (pre-sized from the
+//     cardinality estimator), filters over joins fuse into the pair
+//     iterator so rejected pairs never allocate, and the
+//     duplicate-eliminating operators group incrementally.
+//   - MaterializedEval: the original recursion that materialises every
+//     operator's full output before its parent runs.
+//
+// Both paths produce bit-for-bit identical relations — same tuples,
+// same annotation expression trees — so probabilities agree exactly;
+// the differential suites hold them to tolerance 0 on every optimizer
+// template and on the pinned paper goldens.
+//
 // # Query language
 //
 // PVQL is the declarative frontend over the Q-algebra: ExecQuery parses
