@@ -17,10 +17,13 @@ package pvcagg_test
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"pvcagg"
 	"pvcagg/internal/algebra"
@@ -30,6 +33,7 @@ import (
 	"pvcagg/internal/engine"
 	"pvcagg/internal/gen"
 	"pvcagg/internal/pvc"
+	"pvcagg/internal/server"
 	"pvcagg/internal/tpch"
 	"pvcagg/internal/value"
 )
@@ -765,6 +769,11 @@ func TestEmitBenchJSON(t *testing.T) {
 	records := make([]benchx.BenchRecord, 0, len(cases)+len(queryCases)+len(evalCases))
 	emit := func(prefix string, cs []execBenchCase) {
 		for _, c := range cs {
+			// Level the heap between cases: earlier cases' garbage
+			// otherwise skews the GC pacing (and so the ns/op) of
+			// later ones, which run in one shared process here unlike
+			// under `go test -bench`.
+			runtime.GC()
 			r := testing.Benchmark(c.fn)
 			records = append(records, benchx.BenchRecord{
 				Name:        prefix + c.name,
@@ -778,8 +787,55 @@ func TestEmitBenchJSON(t *testing.T) {
 	emit("Exec/", cases)
 	emit("ExecQuery/", queryCases)
 	emit("EvalPath/", evalCases)
+	rep, err := pvcdWorkloadReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records = append(records, rep.BenchRecords("pvcd/mixed")...)
 	if err := benchx.WriteBenchJSON(*benchJSONPath, records); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %d records to %s", len(records), *benchJSONPath)
+}
+
+// pvcdWorkloadReport drives the benchx workload driver against an
+// in-process query service on the same probabilistic TPC-H database as
+// the Exec family, producing the pvcd/* tail-latency rows (p50/p95/p99
+// over a mixed exact/anytime/sample request stream with a tight-deadline
+// component) of BENCH_exec.json.
+func pvcdWorkloadReport() (benchx.WorkloadReport, error) {
+	db, err := tpch.Generate(tpch.Config{SF: 0.0005, Seed: 1, Probabilistic: true})
+	if err != nil {
+		return benchx.WorkloadReport{}, err
+	}
+	s := server.New(db, server.Config{
+		Workers:      2,
+		QueueDepth:   8,
+		MaxQueueWait: 500 * time.Millisecond,
+		DegradeAfter: 100 * time.Millisecond,
+	})
+	mkBody := func(extra map[string]any) string {
+		m := map[string]any{"query": tpchQ1PVQLBench}
+		for k, v := range extra {
+			m[k] = v
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			panic(err)
+		}
+		return string(b)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	return benchx.RunWorkload(ctx, s.Handler(), benchx.WorkloadConfig{
+		Clients:  8,
+		Requests: 6,
+		Seed:     1,
+		Bodies: []string{
+			mkBody(map[string]any{"mode": "exact"}),
+			mkBody(map[string]any{"mode": "anytime", "eps": 0.1}),
+			mkBody(map[string]any{"mode": "sample", "seed": 7, "samples": 1000}),
+			mkBody(map[string]any{"timeout_ms": 1}),
+		},
+	})
 }

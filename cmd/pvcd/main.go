@@ -1,0 +1,157 @@
+// Command pvcd is the long-running PVQL query service: it loads a demo
+// database (the Figure 1 shop database or generated probabilistic
+// TPC-H) and serves queries over HTTP with admission control, a
+// prepared-statement plan cache and a cross-query compilation cache.
+//
+// Usage:
+//
+//	pvcd -demo shop -p 0.5                  # Figure 1 database on :8080
+//	pvcd -demo tpch -sf 0.001 -addr :9090   # probabilistic TPC-H
+//	pvcd -workers 4 -queue 8                # tighter admission budget
+//	pvcd -shared-cache-entries -1           # disable the cross-query cache
+//
+// Query it with any HTTP client:
+//
+//	curl -s localhost:8080/query -d '{"query":"SELECT shop, COUNT(*) AS n FROM S GROUP BY shop"}'
+//	curl -s localhost:8080/query -d '{"query":"...","mode":"anytime","eps":0.05,"timeout_ms":500}'
+//	curl -s localhost:8080/stats
+//
+// The first SIGINT drains in-flight queries and exits; a second forces
+// exit immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pvcagg"
+	"pvcagg/internal/server"
+	"pvcagg/internal/tpch"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		demo         = flag.String("demo", "shop", "demo database: shop or tpch")
+		p            = flag.Float64("p", 0.5, "tuple marginal probability (shop demo)")
+		sf           = flag.Float64("sf", 0.001, "TPC-H scale factor (tpch demo)")
+		workers      = flag.Int("workers", 0, "concurrent query budget (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth beyond the workers (0 = 4×workers)")
+		maxQueueWait = flag.Duration("max-queue-wait", time.Second, "longest a request queues before 429")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request execution deadline cap")
+		degradeAfter = flag.Duration("degrade-after", 0, "queue wait beyond which non-exact requests degrade to anytime bounds (0 = max-queue-wait/4)")
+		degradeEps   = flag.Float64("degrade-eps", 0.05, "anytime bound width for degraded requests")
+		planCache    = flag.Int("plan-cache", 128, "prepared-statement plan cache entries")
+		cacheEntries = flag.Int("shared-cache-entries", 0, "cross-query compilation cache bound (0 = default, negative disables)")
+		parallel     = flag.Int("parallel", 1, "per-query engine parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	db, err := buildDB(*demo, *p, *sf)
+	if err != nil {
+		log.Fatalf("pvcd: %v", err)
+	}
+	srv := server.New(db, server.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxQueueWait:       *maxQueueWait,
+		MaxTimeout:         *timeout,
+		DegradeAfter:       *degradeAfter,
+		DegradeEps:         *degradeEps,
+		PlanCacheSize:      *planCache,
+		SharedCacheEntries: *cacheEntries,
+		Parallelism:        *parallel,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Println("pvcd: draining in-flight queries (interrupt again to force exit)")
+		go func() {
+			<-sigs
+			log.Println("pvcd: forced exit")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("pvcd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("pvcd: serving %s demo on %s", *demo, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pvcd: %v", err)
+	}
+}
+
+func buildDB(demo string, p, sf float64) (*pvcagg.Database, error) {
+	switch demo {
+	case "shop":
+		return shopDB(p), nil
+	case "tpch":
+		return tpch.Generate(tpch.Config{SF: sf, Seed: 1, Probabilistic: true})
+	default:
+		return nil, fmt.Errorf("unknown demo %q (want shop or tpch)", demo)
+	}
+}
+
+// shopDB is the paper's Figure 1 running-example database with
+// independent Boolean annotations at marginal p.
+func shopDB(p float64) *pvcagg.Database {
+	db := pvcagg.NewDatabase(pvcagg.Boolean)
+	s := pvcagg.NewRelation("S", pvcagg.Schema{
+		{Name: "sid", Type: pvcagg.TValue},
+		{Name: "shop", Type: pvcagg.TString},
+	})
+	shops := []string{"M&S", "M&S", "M&S", "Gap", "Gap"}
+	for i, shop := range shops {
+		db.Registry.DeclareBool(fmt.Sprintf("x%d", i+1), p)
+		s.MustInsert(pvcagg.MustParseExpr(fmt.Sprintf("x%d", i+1)),
+			pvcagg.IntCell(int64(i+1)), pvcagg.StringCell(shop))
+	}
+	db.Add(s)
+	ps := pvcagg.NewRelation("PS", pvcagg.Schema{
+		{Name: "sid", Type: pvcagg.TValue},
+		{Name: "pid", Type: pvcagg.TValue},
+		{Name: "price", Type: pvcagg.TValue},
+	})
+	for _, row := range [][3]int64{
+		{1, 1, 10}, {1, 2, 50}, {2, 1, 11}, {2, 2, 60}, {3, 3, 15},
+		{3, 4, 40}, {4, 1, 15}, {4, 3, 60}, {5, 1, 10},
+	} {
+		v := fmt.Sprintf("y%d%d", row[0], row[1])
+		db.Registry.DeclareBool(v, p)
+		ps.MustInsert(pvcagg.MustParseExpr(v),
+			pvcagg.IntCell(row[0]), pvcagg.IntCell(row[1]), pvcagg.IntCell(row[2]))
+	}
+	db.Add(ps)
+	p1 := pvcagg.NewRelation("P1", pvcagg.Schema{
+		{Name: "pid", Type: pvcagg.TValue},
+		{Name: "weight", Type: pvcagg.TValue},
+	})
+	for i, row := range [][2]int64{{1, 4}, {2, 8}, {3, 7}, {4, 6}} {
+		v := fmt.Sprintf("z%d", i+1)
+		db.Registry.DeclareBool(v, p)
+		p1.MustInsert(pvcagg.MustParseExpr(v), pvcagg.IntCell(row[0]), pvcagg.IntCell(row[1]))
+	}
+	db.Add(p1)
+	p2 := pvcagg.NewRelation("P2", pvcagg.Schema{
+		{Name: "pid", Type: pvcagg.TValue},
+		{Name: "weight", Type: pvcagg.TValue},
+	})
+	db.Registry.DeclareBool("z5", p)
+	p2.MustInsert(pvcagg.MustParseExpr("z5"), pvcagg.IntCell(1), pvcagg.IntCell(5))
+	db.Add(p2)
+	return db
+}

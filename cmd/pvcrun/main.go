@@ -22,7 +22,10 @@
 //
 // The sample mode requires -seed: the engine has no ambient randomness,
 // so every estimate is reproducible from the logged seed. Ctrl-C cancels
-// the in-flight compilations cleanly.
+// the in-flight compilations cleanly. In the REPL, Ctrl-C is scoped to
+// the running query: the first interrupt aborts it — printing the tuples
+// already computed (for an anytime query, their sound bounds) — and
+// returns to the prompt; a second interrupt while it winds down exits.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -87,7 +91,10 @@ func main() {
 			fatal(err)
 		}
 	case *repl:
-		runREPL(ctx, db, opts)
+		// Release the process-wide handler: the REPL scopes SIGINT to the
+		// query it is running, so Ctrl-C must not cancel a shared context.
+		stop()
+		runREPL(db, opts)
 	case *demo == "shop":
 		runShop(ctx, db, opts)
 	default:
@@ -159,9 +166,15 @@ func runQuery(ctx context.Context, db *pvcagg.Database, src string, opts []pvcag
 }
 
 // runREPL reads PVQL queries from stdin, one per line, until EOF or \q.
-func runREPL(ctx context.Context, db *pvcagg.Database, opts []pvcagg.Option) {
+// SIGINT is scoped per query: the first Ctrl-C cancels the in-flight
+// query (its partial results are printed) and the loop returns to the
+// prompt; a second Ctrl-C before the query winds down exits the shell.
+func runREPL(db *pvcagg.Database, opts []pvcagg.Option) {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt)
+	defer signal.Stop(sigs)
 	fmt.Println("PVQL interactive shell — one query per line.")
-	fmt.Println(`  \t lists tables, \q quits. Example: SELECT * FROM ` + firstTable(db))
+	fmt.Println(`  \t lists tables, \q quits, Ctrl-C cancels the running query. Example: SELECT * FROM ` + firstTable(db))
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -190,11 +203,36 @@ func runREPL(ctx context.Context, db *pvcagg.Database, opts []pvcagg.Option) {
 			}
 			continue
 		}
-		if err := runQuery(ctx, db, line, opts, true); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		// Drop any interrupt delivered while idling at the prompt so it
+		// cannot cancel the next query before it starts.
+		select {
+		case <-sigs:
+		default:
 		}
-		if ctx.Err() != nil {
-			return
+		qctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-sigs:
+				fmt.Fprintln(os.Stderr, "^C — cancelling query (Ctrl-C again to exit)")
+				cancel()
+				select {
+				case <-sigs:
+					os.Exit(130)
+				case <-done:
+				}
+			case <-done:
+			}
+		}()
+		err := runQuery(qctx, db, line, opts, true)
+		close(done)
+		cancel()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "query cancelled")
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+			}
 		}
 	}
 }
@@ -217,11 +255,26 @@ func confString(b pvcagg.Bounds) string {
 
 // printResult runs step II of an Exec result and prints every answer
 // tuple with its confidence and, when present, the expectation of the
-// first aggregation column.
+// first aggregation column. It consumes the result as a stream, so a
+// cancelled run (REPL Ctrl-C) still prints the tuples that finished —
+// for an anytime query, their sound bounds — before reporting the
+// cancellation.
 func printResult(res *pvcagg.Result, verbose bool) error {
-	outs, err := res.Collect()
-	if err != nil {
-		return err
+	var outs []pvcagg.TupleOutcome
+	var firstErr error
+	for o, err := range res.Results() {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		outs = append(outs, o)
+	}
+	// The stream yields in completion order; restore tuple order.
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Index < outs[j].Index })
+	if firstErr != nil && len(outs) > 0 {
+		fmt.Printf("   (partial: %d of %d tuples computed)\n", len(outs), res.Len())
 	}
 	for i, o := range outs {
 		if !verbose && i >= 8 {
@@ -234,7 +287,7 @@ func printResult(res *pvcagg.Result, verbose bool) error {
 		}
 		fmt.Println()
 	}
-	return nil
+	return firstErr
 }
 
 func runShop(ctx context.Context, db *pvcagg.Database, opts []pvcagg.Option) {

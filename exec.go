@@ -157,6 +157,7 @@ type execConfig struct {
 	samplesSet bool
 	failFast   bool
 	shared     bool
+	ext        *compile.SharedCache
 	evalPath   EvalPath
 }
 
@@ -257,6 +258,48 @@ func WithSamples(n int) Option {
 // Result.Report.SharedCache.
 func WithSharedCache(enabled bool) Option {
 	return func(c *execConfig) { c.shared = enabled }
+}
+
+// SharedCache is a cross-query compilation cache: the same bounded,
+// shard-striped cache of compiled d-tree nodes and evaluator
+// distributions that WithSharedCache scopes to one execution, but owned
+// by the caller and handed to many executions over WithCache — the
+// long-running query service shares one across every request against a
+// database. See compile.SharedCache for the structure and the adaptive
+// bail-out.
+type SharedCache = compile.SharedCache
+
+// NewSharedCache returns an empty cross-query compilation cache bounded
+// to maxEntries compiled nodes (and as many cached distributions);
+// maxEntries <= 0 selects the default bound (256k). The cache carries
+// the adaptive bail-out: if its consecutive-miss streak ever reaches the
+// default threshold it switches itself off for the rest of its life, so
+// a long-lived cache that turns out not to help never keeps taxing
+// requests.
+func NewSharedCache(maxEntries int) *SharedCache {
+	return compile.NewSharedCache(maxEntries)
+}
+
+// WithCache attaches a caller-owned cross-query compilation cache to the
+// execution, so sub-expressions repeated across queries — not just
+// across the tuples of one query — compile and evaluate once. It implies
+// WithSharedCache(true) and wins over it: when both are given, the
+// external cache is used and no per-execution cache is created.
+//
+// A cache is only coherent for one database (one variable registry): the
+// cached d-tree leaves resolve variables by identity, so executing
+// against a different database with the same cache computes garbage.
+// Swap databases by swapping to a fresh cache — there is deliberately no
+// invalidation call; the query service's session swap does exactly this.
+// Stats (Result.Report.SharedCache) are cumulative over the cache's
+// life, not per-execution. The determinism caveats of WithSharedCache
+// apply across requests too: budgets and per-tuple reports depend on
+// what earlier queries left in the cache.
+func WithCache(cache *SharedCache) Option {
+	return func(c *execConfig) {
+		c.ext = cache
+		c.shared = cache != nil
+	}
 }
 
 // resolveOptions applies the options and validates their combination,
@@ -422,7 +465,11 @@ func (c *execConfig) build(chosen Mode, verdict *Verdict) (Strategy, engine.Exec
 	var cache *compile.SharedCache
 	co := c.compile
 	if c.shared {
-		cache = compile.NewSharedCache(0)
+		if c.ext != nil {
+			cache = c.ext
+		} else {
+			cache = compile.NewSharedCache(0)
+		}
 		co.Shared = cache
 	}
 	ecfg := engine.ExecConfig{Compile: co, Parallelism: c.par, OnBounds: c.onBounds, FailFast: c.failFast}

@@ -22,6 +22,16 @@ import (
 // degrades to the per-compiler memo, it never evicts nodes other
 // compilations may be sharing.
 //
+// The cache carries an adaptive bail-out: when the lookup-miss streak —
+// consecutive misses across the compiler probes and the evaluator's
+// distribution probes combined, reset by any hit — reaches the
+// configured length, both caches stop probing and inserting for the rest
+// of their life (CacheStats.Disabled). On a workload whose tuples share
+// no structure (TPC-H Q1's disjoint group-presence expressions) every
+// probe is pure overhead — a shard lock, a hash+Equal walk, an insert
+// under an exclusive lock — and the bail-out caps that overhead at the
+// streak length instead of paying it on every node of every tuple.
+//
 // All methods are safe for concurrent use; nodes are immutable once
 // compiled, so sharing them across goroutines is free.
 type SharedCache struct {
@@ -31,6 +41,7 @@ type SharedCache struct {
 	misses     atomic.Int64
 	shards     [cacheShards]cacheShard
 	dists      *dtree.DistCache
+	streak     *dtree.MissStreak
 }
 
 const cacheShards = 64
@@ -44,14 +55,39 @@ type cacheShard struct {
 // NewSharedCache(0): 256k nodes plus as many cached distributions.
 const DefaultSharedCacheEntries = 1 << 18
 
+// DefaultBailOutMisses is the default adaptive bail-out streak: after
+// this many consecutive misses (compiler and distribution probes
+// combined, with any hit resetting the count) the cache stops probing.
+// Sized so that a workload with no cross-tuple sharing pays well under
+// 5% of its runtime in probe overhead before the cache switches itself
+// off, while workloads whose shared sub-trees are smaller than the
+// streak survive their cold first tuple and keep the cache.
+const DefaultBailOutMisses = 512
+
 // NewSharedCache returns an empty cache bounded to maxEntries compiled
 // nodes (and as many evaluator distributions); maxEntries <= 0 selects
-// DefaultSharedCacheEntries.
+// DefaultSharedCacheEntries. The adaptive bail-out engages after
+// DefaultBailOutMisses consecutive misses; use NewSharedCacheBailOut to
+// tune or disable it.
 func NewSharedCache(maxEntries int) *SharedCache {
+	return NewSharedCacheBailOut(maxEntries, DefaultBailOutMisses)
+}
+
+// NewSharedCacheBailOut is NewSharedCache with an explicit bail-out
+// streak length: the cache disables itself after bailOutMisses
+// consecutive lookup misses (compiler and distribution probes combined).
+// bailOutMisses <= 0 disables the bail-out — the cache probes forever,
+// the pre-adaptive behaviour.
+func NewSharedCacheBailOut(maxEntries, bailOutMisses int) *SharedCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultSharedCacheEntries
 	}
-	c := &SharedCache{maxEntries: int64(maxEntries), dists: dtree.NewDistCache(maxEntries)}
+	c := &SharedCache{
+		maxEntries: int64(maxEntries),
+		dists:      dtree.NewDistCache(maxEntries),
+		streak:     dtree.NewMissStreak(int64(bailOutMisses)),
+	}
+	c.dists.SetMissStreak(c.streak)
 	for i := range c.shards {
 		c.shards[i].m = map[uint64][]memoEntry{}
 	}
@@ -68,23 +104,28 @@ func (c *SharedCache) EvalCache() *dtree.DistCache {
 }
 
 func (c *SharedCache) lookup(h uint64, e expr.Expr) (dtree.Node, bool) {
+	if c.streak.Tripped() {
+		return nil, false
+	}
 	sh := &c.shards[h%cacheShards]
 	sh.mu.RLock()
 	n, ok := findEntry(sh.m[h], e)
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		c.streak.Hit()
 	} else {
 		c.misses.Add(1)
+		c.streak.Miss()
 	}
 	return n, ok
 }
 
 // insert stores n for e unless another compilation got there first, and
 // returns the winning node so concurrent compilers converge on one shared
-// sub-tree. A full cache returns n unstored.
+// sub-tree. A full or bailed-out cache returns n unstored.
 func (c *SharedCache) insert(h uint64, e expr.Expr, n dtree.Node) dtree.Node {
-	if c.entries.Load() >= c.maxEntries {
+	if c.streak.Tripped() || c.entries.Load() >= c.maxEntries {
 		return n
 	}
 	sh := &c.shards[h%cacheShards]
@@ -101,12 +142,18 @@ func (c *SharedCache) insert(h uint64, e expr.Expr, n dtree.Node) dtree.Node {
 
 // CacheStats is a point-in-time snapshot of SharedCache counters. Hits
 // and Misses count compiler memo consultations; DistHits and DistMisses
-// count the evaluator's distribution cache.
+// count the evaluator's distribution cache. Probes suppressed after the
+// bail-out engaged are not counted — once Disabled is set, the counters
+// freeze (modulo in-flight probes).
 type CacheStats struct {
 	Hits, Misses         int64
 	Entries              int64
 	DistHits, DistMisses int64
 	DistEntries          int64
+	// Disabled reports that the adaptive bail-out engaged: the
+	// consecutive-miss streak reached the configured length and the cache
+	// stopped probing for the rest of the execution.
+	Disabled bool
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -131,5 +178,6 @@ func (c *SharedCache) Stats() CacheStats {
 		DistHits:    dh,
 		DistMisses:  dm,
 		DistEntries: de,
+		Disabled:    c.streak.Tripped(),
 	}
 }

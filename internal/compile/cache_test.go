@@ -200,3 +200,81 @@ func TestSharedCacheNilSafe(t *testing.T) {
 		t.Error("nil cache returned an eval cache")
 	}
 }
+
+// TestSharedCacheBailOut: on a workload whose compilations share nothing,
+// the adaptive bail-out disables the cache after the configured streak of
+// consecutive misses; probe counters freeze and later compilations stop
+// inserting. Hits reset the streak, so a genuinely sharing workload with
+// the same probe volume never trips.
+func TestSharedCacheBailOut(t *testing.T) {
+	reg := vars.NewRegistry()
+	for i := 0; i < 64; i++ {
+		reg.DeclareBool(fmt.Sprintf("bo%d", i), 0.5)
+	}
+	s := algebra.SemiringFor(algebra.Boolean)
+	// Disjoint expressions: every probe is a miss.
+	disjoint := func(i int) expr.Expr {
+		return expr.MustParse(fmt.Sprintf(
+			"[min(bo%d*bo%d @min 3, bo%d @min 5) <= 4]", i%64, (i+1)%64, (i+2)%64))
+	}
+
+	cache := NewSharedCacheBailOut(0, 16)
+	for i := 0; i < 40; i++ {
+		c := New(s, reg, Options{Shared: cache})
+		if _, err := c.Compile(disjoint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if !st.Disabled {
+		t.Fatalf("bail-out did not engage on a disjoint workload: %+v", st)
+	}
+	// Counters freeze at the streak length (inserts before the trip may
+	// have counted a few probes past it from the same compilation).
+	if st.Hits+st.Misses+st.DistHits+st.DistMisses > 64 {
+		t.Errorf("probes kept accumulating after bail-out: %+v", st)
+	}
+	frozen := cache.Stats()
+	c := New(s, reg, Options{Shared: cache})
+	if _, err := c.Compile(disjoint(100)); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after != frozen {
+		t.Errorf("disabled cache still counting: before %+v after %+v", frozen, after)
+	}
+
+	// The same probe volume with sharing: hits reset the streak, the
+	// cache stays alive.
+	sharing := NewSharedCacheBailOut(0, 16)
+	common := expr.MustParse("[min(bo0*bo1 @min 3, bo2 @min 5, bo3*bo4 @min 7) <= 5]")
+	for i := 0; i < 40; i++ {
+		c := New(s, reg, Options{Shared: sharing})
+		if _, err := c.Compile(expr.Product(expr.V(fmt.Sprintf("bo%d", i%64)), common)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sst := sharing.Stats()
+	if sst.Disabled {
+		t.Errorf("bail-out engaged on a sharing workload: %+v", sst)
+	}
+	if sst.Hits == 0 {
+		t.Errorf("sharing workload recorded no hits: %+v", sst)
+	}
+
+	// Bail-out disabled: probing continues forever.
+	never := NewSharedCacheBailOut(0, -1)
+	for i := 0; i < 40; i++ {
+		c := New(s, reg, Options{Shared: never})
+		if _, err := c.Compile(disjoint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nst := never.Stats()
+	if nst.Disabled {
+		t.Errorf("bail-out engaged with bailOutMisses <= 0: %+v", nst)
+	}
+	if nst.Misses <= 64 {
+		t.Errorf("expected unbounded probing without bail-out, got %+v", nst)
+	}
+}

@@ -3,13 +3,16 @@ package compile_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/compile"
+	"pvcagg/internal/expr"
 	"pvcagg/internal/gen"
 	"pvcagg/internal/value"
+	"pvcagg/internal/vars"
 )
 
 // cancelInstance is a generated hard (non-Qind/Qhie) instance whose exact
@@ -96,6 +99,40 @@ func TestCancelApproximate(t *testing.T) {
 	s := algebra.SemiringFor(algebra.Boolean)
 	assertCancels(t, "anytime", func(ctx context.Context) error {
 		_, _, err := compile.ApproximateCtx(ctx, s, inst.Registry, inst.Expr, compile.ApproxOptions{Eps: 1e-9})
+		return err
+	})
+}
+
+// TestCancelShannonDescent: the annotation shape of a selection over a
+// wide MAX aggregate — [MAX-sum over n variables ≤ c] · (x1 + … + xn) —
+// sends the compiler down a Shannon descent that conditions one variable
+// per level, does O(n) substitution work per level, and materialises its
+// decision nodes only post-order. A cancellation poll keyed on created
+// nodes alone never fires during that descent (minutes of work for tens
+// of thousands of tuples), so the compilers also poll on recursion
+// steps; this is the regression test for that descent-side poll.
+func TestCancelShannonDescent(t *testing.T) {
+	const n = 6000
+	reg := vars.NewRegistry()
+	aggTerms := make([]expr.Expr, n)
+	presence := make([]expr.Expr, n)
+	for i := range aggTerms {
+		name := fmt.Sprintf("x%d", i)
+		reg.DeclareBool(name, 0.5)
+		aggTerms[i] = expr.Scale(algebra.Max, expr.V(name), value.Int(int64(i%97)))
+		presence[i] = expr.V(name)
+	}
+	e := expr.Product(
+		expr.Compare(value.LE, expr.MSum(algebra.Max, aggTerms...), expr.MConst{V: value.Int(50)}),
+		expr.Sum(presence...),
+	)
+	s := algebra.SemiringFor(algebra.Boolean)
+	assertCancels(t, "descent-sequential", func(ctx context.Context) error {
+		_, err := compile.New(s, reg, compile.Options{}).CompileCtx(ctx, e)
+		return err
+	})
+	assertCancels(t, "descent-parallel", func(ctx context.Context) error {
+		_, err := compile.NewParallel(s, reg, compile.Options{}, 4).CompileCtx(ctx, e)
 		return err
 	})
 }

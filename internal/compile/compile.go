@@ -103,6 +103,11 @@ type Compiler struct {
 	memo exprMemo
 	ctx  context.Context
 	st   Stats
+	// steps counts compile() entries; unlike Stats.Nodes it advances on
+	// the way *down* a Shannon descent (whose decision nodes only
+	// materialise post-order), so cancellation polls keyed on it reach
+	// even a descent that has yet to create its first node.
+	steps uint64
 }
 
 // memoEntry pairs a memoised expression with its compiled node; the
@@ -191,6 +196,7 @@ func (c *Compiler) CompileCtx(ctx context.Context, e expr.Expr) (Result, error) 
 	}
 	c.ctx = ctx
 	c.st = Stats{}
+	c.steps = 0
 	root, err := c.compile(expr.Simplify(e, c.s))
 	if err != nil {
 		// Stats survive failure so callers (notably the anytime engine's
@@ -214,6 +220,17 @@ func (c *Compiler) newNode(n dtree.Node) (dtree.Node, error) {
 }
 
 func (c *Compiler) compile(e expr.Expr) (dtree.Node, error) {
+	// A Shannon descent over a large sum does O(|e|) substitution and
+	// simplification work per level and creates its decision nodes only
+	// post-order, so the newNode poll alone can leave a cancelled
+	// context unnoticed for the entire descent. Poll here too, keyed on
+	// recursion steps rather than created nodes.
+	c.steps++
+	if c.ctx != nil && c.steps&ctxCheckMask == 0 {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	// Rule 0: expressions without variables are constant leaves.
 	if !expr.HasVars(e) {
 		v, err := expr.Eval(e, nil, c.s)
@@ -553,6 +570,15 @@ func (c *Compiler) compileCmp(cm expr.Cmp) (dtree.Node, error) {
 
 // shannon applies rule 5/6: mutex expansion ⊔x of the chosen variable.
 func (c *Compiler) shannon(e expr.Expr) (dtree.Node, error) {
+	// Poll unconditionally: one expansion level costs O(|e|) in
+	// substitution and simplification, which dwarfs the check, and a
+	// descent over a wide aggregate can run thousands of levels before
+	// creating its first (post-order) node.
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	x := c.chooseVariable(e)
 	d, err := c.reg.DistByID(x)
 	if err != nil {

@@ -170,6 +170,11 @@ type prun struct {
 
 	aborted atomic.Bool
 
+	// steps counts compile() entries across all branch goroutines; like
+	// the sequential compiler's counter it advances on the way down a
+	// Shannon descent, where nodes (created post-order) do not.
+	steps atomic.Int64
+
 	nodes         atomic.Int64
 	sumSplits     atomic.Int64
 	productSplits atomic.Int64
@@ -262,6 +267,11 @@ func (r *prun) compileAll(es []expr.Expr) ([]dtree.Node, error) {
 func (r *prun) compile(e expr.Expr) (dtree.Node, error) {
 	if r.aborted.Load() {
 		return nil, errStopped
+	}
+	if c := r.steps.Add(1); r.ctx != nil && c&ctxCheckMask == 0 {
+		if err := r.ctx.Err(); err != nil {
+			return nil, r.fail(err)
+		}
 	}
 	// Rule 0: expressions without variables are constant leaves.
 	if !expr.HasVars(e) {
@@ -510,6 +520,13 @@ func (r *prun) compileCmp(cm expr.Cmp) (dtree.Node, error) {
 // the dominant fan-out point: each branch is a full sub-compilation and
 // branches only share work through the memo table.
 func (r *prun) shannon(e expr.Expr) (dtree.Node, error) {
+	// Unconditional poll, as in the sequential compiler: an expansion
+	// level is O(|e|) work and a descent creates nodes only post-order.
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return nil, r.fail(err)
+		}
+	}
 	x := chooseVariable(e, r.opts.Order)
 	d, err := r.reg.DistByID(x)
 	if err != nil {

@@ -31,6 +31,53 @@ type memoKey struct {
 	cap *prob.Cap
 }
 
+// MissStreak is an adaptive bail-out shared by the caches of one
+// execution: it counts consecutive lookup misses across every cache that
+// feeds it, and trips permanently once the streak reaches the configured
+// length. A tripped streak tells its caches to stop probing (and stop
+// inserting), so a workload whose tuples share nothing — where every
+// hash+Equal probe and every distribution lookup is pure overhead —
+// degrades to the plain per-compilation memo instead of paying the cache
+// tax on every node. Any hit resets the streak; once tripped it stays
+// tripped (the remaining cost is one atomic load per would-be probe).
+//
+// All methods are safe for concurrent use and on a nil receiver (a nil
+// streak never trips).
+type MissStreak struct {
+	after   int64
+	streak  atomic.Int64
+	tripped atomic.Bool
+}
+
+// NewMissStreak returns a streak that trips after `after` consecutive
+// misses; after <= 0 returns nil (no bail-out).
+func NewMissStreak(after int64) *MissStreak {
+	if after <= 0 {
+		return nil
+	}
+	return &MissStreak{after: after}
+}
+
+// Hit resets the streak.
+func (s *MissStreak) Hit() {
+	if s != nil {
+		s.streak.Store(0)
+	}
+}
+
+// Miss advances the streak, tripping it at the configured length.
+func (s *MissStreak) Miss() {
+	if s == nil || s.tripped.Load() {
+		return
+	}
+	if s.streak.Add(1) >= s.after {
+		s.tripped.Store(true)
+	}
+}
+
+// Tripped reports whether the bail-out has engaged.
+func (s *MissStreak) Tripped() bool { return s != nil && s.tripped.Load() }
+
 // DistCache is a bounded, concurrency-safe cache of node distributions
 // keyed by (node identity, cap identity) — the same key as the per-call
 // evaluation memo. Shared d-tree nodes keep their identity across
@@ -42,6 +89,7 @@ type DistCache struct {
 	m            map[memoKey]prob.Dist
 	max          int
 	hits, misses atomic.Int64
+	streak       *MissStreak
 }
 
 // NewDistCache returns an empty cache bounded to max entries (insertions
@@ -49,6 +97,12 @@ type DistCache struct {
 func NewDistCache(max int) *DistCache {
 	return &DistCache{m: make(map[memoKey]prob.Dist, 256), max: max}
 }
+
+// SetMissStreak wires an adaptive bail-out into the cache (typically the
+// same streak as the compiler cache the d-tree nodes come from, so both
+// stop probing together). Must be called before the cache is shared
+// across goroutines.
+func (c *DistCache) SetMissStreak(s *MissStreak) { c.streak = s }
 
 // Stats reports the cache counters: hits, misses and resident entries.
 func (c *DistCache) Stats() (hits, misses, entries int64) {
@@ -62,18 +116,26 @@ func (c *DistCache) Stats() (hits, misses, entries int64) {
 }
 
 func (c *DistCache) get(k memoKey) (prob.Dist, bool) {
+	if c.streak.Tripped() {
+		return prob.Dist{}, false
+	}
 	c.mu.RLock()
 	d, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		c.streak.Hit()
 	} else {
 		c.misses.Add(1)
+		c.streak.Miss()
 	}
 	return d, ok
 }
 
 func (c *DistCache) put(k memoKey, d prob.Dist) {
+	if c.streak.Tripped() {
+		return
+	}
 	c.mu.Lock()
 	if len(c.m) < c.max {
 		c.m[k] = d

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync"
+
 	"pvcagg/internal/pvc"
 	"pvcagg/internal/value"
 )
@@ -43,11 +45,18 @@ func Estimate(p Plan, db *pvc.Database) CardEstimate {
 
 // Estimator estimates plan cardinalities over one database, memoising
 // the per-relation row/distinct statistics (which cost a full scan of
-// the stored tuples) across calls. Not safe for concurrent use; build
-// one per optimization pass. The database must not gain or lose tuples
-// while the Estimator is in use.
+// the stored tuples) across calls. Safe for concurrent use: the stats
+// memo is mutex-guarded, so one Estimator can serve many goroutines —
+// the query service optimizes and estimates cached plans concurrently.
+// The returned CardEstimate values (including their Distinct maps) must
+// be treated as read-only by callers. The database must not gain or lose
+// tuples while the Estimator is in use.
 type Estimator struct {
-	db    *pvc.Database
+	db *pvc.Database
+	mu sync.Mutex
+	// scans memoises per-relation statistics. Guarded by mu; the stored
+	// estimates are never mutated after insertion, so returning them
+	// outside the lock is safe.
 	scans map[string]CardEstimate
 }
 
@@ -61,6 +70,11 @@ func (e *Estimator) Estimate(p Plan) CardEstimate {
 	db := e.db
 	switch n := p.(type) {
 	case *Scan:
+		// The lock covers the scan computation too, so concurrent
+		// estimates of the same cold table do the full-table stats scan
+		// once instead of racing to duplicate it.
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		if est, ok := e.scans[n.Table]; ok {
 			return est
 		}

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"pvcagg/internal/algebra"
@@ -144,5 +146,47 @@ func TestEstimateCardinality(t *testing.T) {
 	// Prune is size-transparent.
 	if got := EstimateCardinality(&Prune{Input: &Scan{Table: "R"}, Cols: []string{"a"}}, db); got != 4 {
 		t.Fatalf("π̂ estimate = %v, want 4", got)
+	}
+}
+
+// TestEstimatorConcurrent: one Estimator serves 8 goroutines estimating
+// the same plans against one database — the query service's shape, where
+// cached plans are re-estimated concurrently. Run under -race in CI; the
+// assertions additionally pin that every goroutine sees the same
+// (memoised) statistics.
+func TestEstimatorConcurrent(t *testing.T) {
+	db := schemaCardDB(t)
+	est := NewEstimator(db)
+	plans := []Plan{
+		&Scan{Table: "R"},
+		&Join{L: &Scan{Table: "R"}, R: &Scan{Table: "T"}},
+		&GroupAgg{Input: &Scan{Table: "R"}, GroupBy: []string{"a"}, Aggs: []AggSpec{{Out: "X", Agg: algebra.Count}}},
+		&Select{Input: &Scan{Table: "T"}, Pred: Where(ColTheta("a", value.LE, pvc.IntCell(5)))},
+	}
+	want := make([]float64, len(plans))
+	for i, p := range plans {
+		want[i] = NewEstimator(db).Estimate(p).Rows
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i, p := range plans {
+					if got := est.Estimate(p).Rows; got != want[i] {
+						errs <- fmt.Errorf("plan %d: rows %v, want %v", i, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

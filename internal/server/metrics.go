@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped metrics: monotone counters for the admission outcomes
+// and ring-buffer latency recorders for the per-request phase split
+// (queue wait, parse/optimize, execute, total). The recorders keep the
+// last windowSize samples — a sliding window, so /stats reports the
+// service's recent behaviour rather than a lifetime average that load
+// spikes disappear into.
+
+// windowSize is the per-recorder sliding window (samples).
+const windowSize = 4096
+
+// recorder is a fixed-size ring of duration samples with percentile
+// snapshots. Safe for concurrent use.
+type recorder struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	pos   int
+	count int64
+}
+
+func newRecorder() *recorder { return &recorder{buf: make([]time.Duration, windowSize)} }
+
+func (r *recorder) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.pos] = d
+	r.pos = (r.pos + 1) % len(r.buf)
+	r.count++
+	r.mu.Unlock()
+}
+
+// LatencyStats is a percentile snapshot of one request phase, in
+// microseconds (the natural unit between sub-millisecond parses and
+// multi-second degraded executions).
+type LatencyStats struct {
+	Count int64 `json:"count"`
+	P50Us int64 `json:"p50_us"`
+	P95Us int64 `json:"p95_us"`
+	P99Us int64 `json:"p99_us"`
+}
+
+// snapshot computes p50/p95/p99 over the current window.
+func (r *recorder) snapshot() LatencyStats {
+	r.mu.Lock()
+	n := int(min64(r.count, int64(len(r.buf))))
+	samples := make([]time.Duration, n)
+	copy(samples, r.buf[:n])
+	count := r.count
+	r.mu.Unlock()
+	st := LatencyStats{Count: count}
+	if n == 0 {
+		return st
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	st.P50Us = percentile(samples, 50).Microseconds()
+	st.P95Us = percentile(samples, 95).Microseconds()
+	st.P99Us = percentile(samples, 99).Microseconds()
+	return st
+}
+
+// percentile reads the p-th percentile off a sorted sample set (nearest
+// rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// metrics aggregates the service counters and phase recorders.
+type metrics struct {
+	requests atomic.Int64
+	ok       atomic.Int64
+	rejected atomic.Int64
+	degraded atomic.Int64
+	timeouts atomic.Int64
+	errors   atomic.Int64
+
+	queueWait *recorder
+	parse     *recorder
+	exec      *recorder
+	total     *recorder
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		queueWait: newRecorder(),
+		parse:     newRecorder(),
+		exec:      newRecorder(),
+		total:     newRecorder(),
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pvcagg"
+)
+
+// planCache is the prepared-statement cache: optimized Q-algebra plans
+// keyed by the exact PVQL text. Parsing is cheap but optimization walks
+// the plan estimating cardinalities per candidate join order, so a
+// service replaying a small set of query shapes (the prepared-statement
+// workload) saves the whole frontend on every hit. Plans are immutable
+// during evaluation (operators resolve their predicates into fresh
+// slices), so one cached plan serves concurrent requests without
+// copying.
+//
+// The cache is scoped to one session — one database — because binding
+// resolves table schemas and optimization uses that database's
+// statistics; Server.Swap installs a fresh one. Eviction is
+// random-victim when full (Go map iteration order): the cache is a
+// working-set memo, not an LRU, and a bounded wrong-victim cost beats
+// per-hit bookkeeping on the hot path.
+type planCache struct {
+	mu           sync.RWMutex
+	m            map[string]pvcagg.Plan
+	max          int
+	hits, misses atomic.Int64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{m: make(map[string]pvcagg.Plan, max), max: max}
+}
+
+// get returns the cached optimized plan for the query text, if any.
+func (c *planCache) get(query string) (pvcagg.Plan, bool) {
+	c.mu.RLock()
+	p, ok := c.m[query]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return p, ok
+}
+
+// put stores an optimized plan, evicting an arbitrary entry when full.
+func (c *planCache) put(query string, p pvcagg.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[query]; ok {
+		return
+	}
+	if len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[query] = p
+}
+
+// PlanCacheStats is the point-in-time plan-cache picture on /stats.
+type PlanCacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int64 `json:"entries"`
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return PlanCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: int64(n)}
+}

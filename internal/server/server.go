@@ -1,0 +1,533 @@
+// Package server implements pvcd, the long-running HTTP query service
+// over a pvc-table database: PVQL in, per-tuple confidences (points or
+// sound [lo,hi] bounds) and aggregation expectations out as JSON.
+//
+// The service multiplexes concurrent queries over a shared worker
+// budget with admission control: Config.Workers queries execute at
+// once, up to Config.QueueDepth more wait at most Config.MaxQueueWait
+// for a slot, and everything beyond that is rejected immediately with
+// 429 (Retry-After set) — saturation degrades into fast rejections the
+// client can back off on, never into an unbounded queue. A request that
+// waited longer than Config.DegradeAfter and is not pinned to an exact
+// strategy is degraded instead of queued further: it runs the anytime
+// engine at the (wider) Config.DegradeEps under a slice of its
+// remaining deadline, returning sound unconverged bounds rather than
+// holding its worker slot to convergence. Every request carries a
+// context derived from the client connection and a deadline
+// (min(request timeout_ms, Config.MaxTimeout)), so disconnects and
+// deadlines cancel the in-flight compilation promptly.
+//
+// Two caches make the replayed-query workload cheap. The plan cache
+// memoises parsed+optimized plans by query text (the prepared-statement
+// pattern). The shared compilation cache — the WithCache form of the
+// library's WithSharedCache — persists compiled d-tree nodes and their
+// distributions across queries, so annotation structure repeated
+// between requests compiles once; its adaptive bail-out switches it off
+// by itself on workloads it cannot help. Both caches live in an
+// immutable session {database, plan cache, shared cache} held behind an
+// atomic pointer: Server.Swap installs a new database by swapping the
+// whole session, which is the cache-invalidation contract — in-flight
+// queries keep the coherent old session, new requests see the new
+// database with cold caches, and no cache entry ever crosses databases.
+//
+// Endpoints: POST /query (QueryRequest in, QueryResponse out),
+// GET /stats (Stats: admission counters, phase latency percentiles,
+// cache hit rates), GET /healthz.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pvcagg"
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// Workers bounds the queries executing at once (0 ⇒ GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the requests waiting for a worker slot beyond
+	// the executing ones (0 ⇒ 4×Workers); requests arriving with the
+	// queue full are rejected with 429 immediately.
+	QueueDepth int
+	// MaxQueueWait bounds how long an admitted-to-queue request waits
+	// for a slot before a 429 (0 ⇒ 1s).
+	MaxQueueWait time.Duration
+	// MaxTimeout is the per-request execution deadline: the default when
+	// the request carries no timeout_ms, and the cap when it does
+	// (0 ⇒ 30s).
+	MaxTimeout time.Duration
+	// DegradeAfter is the queue wait beyond which a non-exact request is
+	// degraded to anytime bounds at DegradeEps instead of running at its
+	// requested precision (0 ⇒ MaxQueueWait/4).
+	DegradeAfter time.Duration
+	// DegradeEps is the anytime target width degraded requests run at
+	// (0 ⇒ 0.05). A request asking for a wider ε keeps its own.
+	DegradeEps float64
+	// PlanCacheSize bounds the prepared-statement plan cache (0 ⇒ 128).
+	PlanCacheSize int
+	// SharedCacheEntries bounds the cross-query compilation cache
+	// (0 ⇒ the library default, 256k nodes); < 0 disables the cache.
+	SharedCacheEntries int
+	// Parallelism is the per-query worker bound passed to the engine
+	// (0 ⇒ 1, sequential — the service gets its parallelism across
+	// queries, so per-query fan-out only helps an idle server).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = c.MaxQueueWait / 4
+	}
+	if c.DegradeEps <= 0 {
+		c.DegradeEps = 0.05
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 128
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// session is one database with its caches. Immutable once installed:
+// Swap replaces the whole session, so a request that loaded a session
+// pointer sees a coherent {db, plans, cache} triple for its entire
+// life even across a concurrent swap.
+type session struct {
+	db    *pvcagg.Database
+	plans *planCache
+	cache *pvcagg.SharedCache // nil when disabled
+}
+
+// Server is the query service. Create with New, expose via Handler.
+type Server struct {
+	cfg      Config
+	sess     atomic.Pointer[session]
+	slots    chan struct{}
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	m        *metrics
+
+	// execGate, when set, runs while the request holds its worker slot,
+	// just before execution — the test hook that makes admission-control
+	// tests deterministic (hold N gates open, assert the N+1st request's
+	// fate) without sleeping on real query latency.
+	execGate func()
+}
+
+// New returns a Server serving queries against db.
+func New(db *pvcagg.Database, cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), m: newMetrics()}
+	s.slots = make(chan struct{}, s.cfg.Workers)
+	s.sess.Store(s.newSession(db))
+	return s
+}
+
+func (s *Server) newSession(db *pvcagg.Database) *session {
+	sess := &session{db: db, plans: newPlanCache(s.cfg.PlanCacheSize)}
+	if s.cfg.SharedCacheEntries >= 0 {
+		sess.cache = pvcagg.NewSharedCache(s.cfg.SharedCacheEntries)
+	}
+	return sess
+}
+
+// Swap atomically installs a new database with fresh plan and
+// compilation caches. This is the cache-invalidation contract: caches
+// are keyed by nothing database-specific, so the only sound
+// invalidation is wholesale — in-flight queries finish against the old
+// session (old database, old caches, still mutually coherent), and
+// every request admitted after Swap returns sees only the new one.
+func (s *Server) Swap(db *pvcagg.Database) {
+	s.sess.Store(s.newSession(db))
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is the PVQL text (required).
+	Query string `json:"query"`
+	// Mode selects the strategy: "auto" (default), "exact", "anytime"
+	// or "sample".
+	Mode string `json:"mode,omitempty"`
+	// Eps is the anytime target bound width (auto/anytime modes).
+	Eps float64 `json:"eps,omitempty"`
+	// TimeoutMs is the request deadline; capped at Config.MaxTimeout.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Seed seeds the sampling strategy (required by mode "sample" —
+	// the engine has no ambient randomness).
+	Seed *int64 `json:"seed,omitempty"`
+	// Samples is the Monte Carlo sample count (mode "sample").
+	Samples int `json:"samples,omitempty"`
+}
+
+// QueryRow is one answer tuple: its cells rendered as strings, its
+// confidence interval (lo == hi under exact strategies) and the
+// expectation of each aggregation column.
+type QueryRow struct {
+	Cells      []string  `json:"cells"`
+	Lo         float64   `json:"lo"`
+	Hi         float64   `json:"hi"`
+	Converged  bool      `json:"converged"`
+	AggExpects []float64 `json:"agg_expects,omitempty"`
+}
+
+// Timings is the per-request phase split, microseconds.
+type Timings struct {
+	QueueWaitUs int64 `json:"queue_wait_us"`
+	ParseUs     int64 `json:"parse_us"`
+	ExecUs      int64 `json:"exec_us"`
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	Rows []QueryRow `json:"rows"`
+	// Strategy is the engine's chosen-strategy rendering (e.g.
+	// "anytime(ε=0.05)").
+	Strategy string `json:"strategy"`
+	// Degraded reports that admission pressure demoted this request to
+	// anytime bounds at the degraded ε; rows may be unconverged but
+	// their [lo,hi] intervals are still guaranteed sound.
+	Degraded bool `json:"degraded"`
+	// CachedPlan reports a prepared-statement cache hit.
+	CachedPlan bool    `json:"cached_plan"`
+	Timings    Timings `json:"timings"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Stats is the GET /stats body.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Rejected int64 `json:"rejected"`
+	Degraded int64 `json:"degraded"`
+	Timeouts int64 `json:"timeouts"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"in_flight"`
+
+	QueueWait LatencyStats `json:"queue_wait"`
+	Parse     LatencyStats `json:"parse"`
+	Exec      LatencyStats `json:"exec"`
+	Total     LatencyStats `json:"total"`
+
+	PlanCache PlanCacheStats `json:"plan_cache"`
+	// SharedCache reports the cross-query compilation cache of the
+	// current session (absent when disabled). Note Disabled: the
+	// adaptive bail-out may have switched the cache off mid-session.
+	SharedCache *pvcagg.CacheStats `json:"shared_cache,omitempty"`
+}
+
+var errSaturated = errors.New("server saturated")
+
+// admit acquires a worker slot, queueing up to MaxQueueWait behind at
+// most QueueDepth other waiters. It returns the queue wait and a
+// release function, or errSaturated / the context's error.
+func (s *Server) admit(ctx context.Context) (time.Duration, func(), error) {
+	release := func() { <-s.slots }
+	select {
+	case s.slots <- struct{}{}:
+		return 0, release, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		return 0, nil, errSaturated
+	}
+	defer s.waiting.Add(-1)
+	t0 := time.Now()
+	timer := time.NewTimer(s.cfg.MaxQueueWait)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return time.Since(t0), release, nil
+	case <-timer.C:
+		return time.Since(t0), nil, errSaturated
+	case <-ctx.Done():
+		return time.Since(t0), nil, ctx.Err()
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	s.m.requests.Add(1)
+	total0 := time.Now()
+
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	// The request context carries both cancellation sources: the client
+	// connection (r.Context is cancelled on disconnect) and the deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	wait, release, err := s.admit(ctx)
+	s.m.queueWait.add(wait)
+	if err != nil {
+		if errors.Is(err, errSaturated) {
+			s.m.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "saturated: all workers busy and the queue is full")
+			return
+		}
+		s.m.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.execGate != nil {
+		s.execGate()
+	}
+
+	// A request that queued past DegradeAfter has already paid latency;
+	// rather than spend its remaining deadline chasing the requested
+	// precision, demote it to anytime bounds at the degraded ε under a
+	// slice of what's left. Exact and sample requests keep their
+	// semantics — degradation only widens a tolerance the client already
+	// declared (or defaulted) elastic.
+	degraded := wait > s.cfg.DegradeAfter && degradable(req.Mode)
+
+	sess := s.sess.Load()
+	parse0 := time.Now()
+	plan, cachedPlan, err := s.lookupPlan(sess, req.Query)
+	parseDur := time.Since(parse0)
+	s.m.parse.add(parseDur)
+	if err != nil {
+		s.m.errors.Add(1)
+		msg := err.Error()
+		var qe *pvcagg.QueryError
+		if errors.As(err, &qe) {
+			msg = qe.Render(req.Query)
+		}
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	opts, err := s.execOptions(&req, sess, degraded, ctx)
+	if err != nil {
+		s.m.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	exec0 := time.Now()
+	resp, err := runQuery(ctx, sess.db, plan, opts)
+	execDur := time.Since(exec0)
+	s.m.exec.add(execDur)
+	s.m.total.add(time.Since(total0))
+	if err != nil {
+		if ctx.Err() != nil {
+			s.m.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+ctx.Err().Error())
+			return
+		}
+		s.m.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.m.ok.Add(1)
+	if degraded {
+		s.m.degraded.Add(1)
+	}
+	resp.Degraded = degraded
+	resp.CachedPlan = cachedPlan
+	resp.Timings = Timings{
+		QueueWaitUs: wait.Microseconds(),
+		ParseUs:     parseDur.Microseconds(),
+		ExecUs:      execDur.Microseconds(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// degradable reports whether the requested mode tolerates the anytime
+// demotion (it already returns interval answers, or lets the engine
+// choose).
+func degradable(mode string) bool {
+	return mode == "" || mode == "auto" || mode == "anytime"
+}
+
+// lookupPlan serves the optimized plan from the session's
+// prepared-statement cache, compiling and caching on miss.
+func (s *Server) lookupPlan(sess *session, query string) (pvcagg.Plan, bool, error) {
+	if p, ok := sess.plans.get(query); ok {
+		return p, true, nil
+	}
+	p, err := pvcagg.ParseQuery(sess.db, query)
+	if err != nil {
+		return nil, false, err
+	}
+	sess.plans.put(query, p)
+	return p, false, nil
+}
+
+// execOptions translates the request (and any degradation) into engine
+// options.
+func (s *Server) execOptions(req *QueryRequest, sess *session, degraded bool, ctx context.Context) ([]pvcagg.Option, error) {
+	opts := []pvcagg.Option{pvcagg.WithParallelism(s.cfg.Parallelism)}
+	if sess.cache != nil {
+		opts = append(opts, pvcagg.WithCache(sess.cache))
+	}
+	if req.Eps < 0 || req.Eps >= 1 {
+		return nil, fmt.Errorf("eps %v out of range [0, 1)", req.Eps)
+	}
+	if degraded {
+		// Anytime at the degraded ε (never narrower than requested), with
+		// a per-tuple timeout at half the remaining deadline: the engine
+		// returns sound unconverged bounds instead of running into the
+		// deadline and yielding nothing.
+		eps := s.cfg.DegradeEps
+		if req.Eps > eps {
+			eps = req.Eps
+		}
+		approx := pvcagg.ApproxOptions{Eps: eps}
+		if dl, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(dl); remaining > 0 {
+				approx.Timeout = remaining / 2
+			}
+		}
+		return append(opts, pvcagg.WithMode(pvcagg.Anytime), pvcagg.WithApprox(approx)), nil
+	}
+	switch req.Mode {
+	case "", "auto":
+		opts = append(opts, pvcagg.WithMode(pvcagg.Auto))
+		if req.Eps > 0 {
+			opts = append(opts, pvcagg.WithEps(req.Eps))
+		}
+	case "exact":
+		if req.Eps != 0 {
+			return nil, errors.New(`eps conflicts with mode "exact"`)
+		}
+		opts = append(opts, pvcagg.WithMode(pvcagg.Exact))
+	case "anytime":
+		opts = append(opts, pvcagg.WithMode(pvcagg.Anytime))
+		if req.Eps > 0 {
+			opts = append(opts, pvcagg.WithEps(req.Eps))
+		}
+	case "sample":
+		if req.Seed == nil {
+			return nil, errors.New(`mode "sample" requires an explicit seed (no ambient randomness; estimates must be reproducible)`)
+		}
+		if req.Eps != 0 {
+			return nil, errors.New(`eps conflicts with mode "sample"; set samples instead`)
+		}
+		opts = append(opts, pvcagg.WithMode(pvcagg.Sample), pvcagg.WithSeed(*req.Seed))
+		if req.Samples > 0 {
+			opts = append(opts, pvcagg.WithSamples(req.Samples))
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want auto, exact, anytime or sample)", req.Mode)
+	}
+	return opts, nil
+}
+
+// runQuery executes the plan and renders the answer tuples.
+func runQuery(ctx context.Context, db *pvcagg.Database, plan pvcagg.Plan, opts []pvcagg.Option) (*QueryResponse, error) {
+	res, err := pvcagg.Exec(ctx, db, plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := res.Collect()
+	if err != nil {
+		return nil, err
+	}
+	resp := &QueryResponse{Strategy: res.Strategy.String(), Rows: make([]QueryRow, len(outs))}
+	for i, o := range outs {
+		row := QueryRow{
+			Cells:     make([]string, len(o.Tuple.Cells)),
+			Lo:        o.Confidence.Lo,
+			Hi:        o.Confidence.Hi,
+			Converged: o.Report.Approx == nil || o.Report.Approx.Converged,
+		}
+		for j, c := range o.Tuple.Cells {
+			row.Cells[j] = c.String()
+		}
+		for _, d := range o.AggDists {
+			row.AggExpects = append(row.AggExpects, d.Expectation())
+		}
+		resp.Rows[i] = row
+	}
+	return resp, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sess := s.sess.Load()
+	st := Stats{
+		Requests:  s.m.requests.Load(),
+		OK:        s.m.ok.Load(),
+		Rejected:  s.m.rejected.Load(),
+		Degraded:  s.m.degraded.Load(),
+		Timeouts:  s.m.timeouts.Load(),
+		Errors:    s.m.errors.Load(),
+		InFlight:  s.inflight.Load(),
+		QueueWait: s.m.queueWait.snapshot(),
+		Parse:     s.m.parse.snapshot(),
+		Exec:      s.m.exec.snapshot(),
+		Total:     s.m.total.snapshot(),
+		PlanCache: sess.plans.stats(),
+	}
+	if sess.cache != nil {
+		cs := sess.cache.Stats()
+		st.SharedCache = &cs
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -3,7 +3,9 @@ package pvcagg_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"pvcagg"
@@ -170,5 +172,47 @@ func TestParsePlanFacade(t *testing.T) {
 	}
 	if est := pvcagg.EstimateCardinality(&pvcagg.Scan{Table: "PS"}, db); est != 9 {
 		t.Fatalf("EstimateCardinality(PS) = %v, want 9", est)
+	}
+}
+
+// TestParseQueryConcurrent: the query service parses, binds and optimizes
+// the same PVQL text from many goroutines against one database (a cold
+// plan-cache stampede). Each goroutine must produce the same optimized
+// plan with no data race — run under -race in the service CI job. The
+// optimizer's Estimator memoises table statistics; this pins that
+// concurrent optimization passes over one database are safe.
+func TestParseQueryConcurrent(t *testing.T) {
+	db, err := tpch.Generate(tpch.Config{SF: 0.0005, Seed: 1, Probabilistic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pvcagg.ParseQuery(db, tpchQ1PVQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 25; round++ {
+				p, err := pvcagg.ParseQuery(db, tpchQ1PVQL)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if p.String() != want.String() {
+					errs <- fmt.Errorf("optimized plan differs across goroutines:\n%s\n%s", p, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
