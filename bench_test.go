@@ -787,6 +787,11 @@ func TestEmitBenchJSON(t *testing.T) {
 	emit("Exec/", cases)
 	emit("ExecQuery/", queryCases)
 	emit("EvalPath/", evalCases)
+	storeRecs, err := storeBenchRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records = append(records, storeRecs...)
 	rep, err := pvcdWorkloadReport()
 	if err != nil {
 		t.Fatal(err)

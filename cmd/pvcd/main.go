@@ -7,6 +7,7 @@
 //
 //	pvcd -demo shop -p 0.5                  # Figure 1 database on :8080
 //	pvcd -demo tpch -sf 0.001 -addr :9090   # probabilistic TPC-H
+//	pvcd -store /data/tpch01                # disk-backed database (pvcimport)
 //	pvcd -workers 4 -queue 8                # tighter admission budget
 //	pvcd -shared-cache-entries -1           # disable the cross-query cache
 //
@@ -52,12 +53,24 @@ func main() {
 		planCache    = flag.Int("plan-cache", 128, "prepared-statement plan cache entries")
 		cacheEntries = flag.Int("shared-cache-entries", 0, "cross-query compilation cache bound (0 = default, negative disables)")
 		parallel     = flag.Int("parallel", 1, "per-query engine parallelism (0 = GOMAXPROCS)")
+		storeDir     = flag.String("store", "", "serve a disk-backed database written by pvcimport instead of a -demo database")
 	)
 	flag.Parse()
 
-	db, err := buildDB(*demo, *p, *sf)
-	if err != nil {
-		log.Fatalf("pvcd: %v", err)
+	var db *pvcagg.Database
+	served := *demo + " demo"
+	if *storeDir != "" {
+		st, err := pvcagg.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatalf("pvcd: %v", err)
+		}
+		db = st.DB()
+		served = fmt.Sprintf("store %s (epoch %d)", *storeDir, st.Epoch())
+	} else {
+		var err error
+		if db, err = buildDB(*demo, *p, *sf); err != nil {
+			log.Fatalf("pvcd: %v", err)
+		}
 	}
 	srv := server.New(db, server.Config{
 		Workers:            *workers,
@@ -89,7 +102,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("pvcd: serving %s demo on %s", *demo, *addr)
+	log.Printf("pvcd: serving %s on %s", served, *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("pvcd: %v", err)
 	}

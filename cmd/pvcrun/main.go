@@ -20,6 +20,11 @@
 //	# interactive PVQL REPL over the demo database:
 //	pvcrun -demo shop -repl
 //
+//	# query a disk-backed database written by pvcimport (block scans with
+//	# zone-map skipping; datasets larger than RAM):
+//	pvcrun -store /data/tpch01 -query "SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag"
+//	pvcrun -store /data/tpch01 -repl
+//
 // The sample mode requires -seed: the engine has no ambient randomness,
 // so every estimate is reproducible from the logged seed. Ctrl-C cancels
 // the in-flight compilations cleanly. In the REPL, Ctrl-C is scoped to
@@ -57,6 +62,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "cancel the whole run after this duration (0 = none)")
 		query    = flag.String("query", "", "run one PVQL query against the demo database and exit")
 		repl     = flag.Bool("repl", false, "interactive PVQL prompt over the demo database")
+		storeDir = flag.String("store", "", "open a disk-backed database written by pvcimport instead of a -demo database")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -73,17 +79,32 @@ func main() {
 		os.Exit(2)
 	}
 	var db *pvcagg.Database
-	switch *demo {
-	case "shop":
-		db = shopDB(*p)
-	case "tpch":
-		db, err = tpch.Generate(tpch.Config{SF: *sf, Seed: 1, Probabilistic: true})
+	if *storeDir != "" {
+		st, err := pvcagg.OpenStore(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
-		os.Exit(2)
+		db = st.DB()
+		if *query == "" && !*repl {
+			// No query to run: describe the store and point at -query/-repl.
+			fmt.Printf("store %s (epoch %d):\n", *storeDir, st.Epoch())
+			listTables(db)
+			fmt.Println("use -query or -repl to run PVQL against it")
+			return
+		}
+	} else {
+		switch *demo {
+		case "shop":
+			db = shopDB(*p)
+		case "tpch":
+			db, err = tpch.Generate(tpch.Config{SF: *sf, Seed: 1, Probabilistic: true})
+			if err != nil {
+				fatal(err)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "pvcrun: unknown demo %q\n", *demo)
+			os.Exit(2)
+		}
 	}
 	switch {
 	case *query != "":
@@ -190,17 +211,7 @@ func runREPL(db *pvcagg.Database, opts []pvcagg.Option) {
 		case line == `\q` || line == "exit" || line == "quit":
 			return
 		case line == `\t`:
-			for _, name := range db.Names() {
-				rel, err := db.Relation(name)
-				if err != nil {
-					continue
-				}
-				cols := make([]string, len(rel.Schema))
-				for i, c := range rel.Schema {
-					cols[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
-				}
-				fmt.Printf("  %s(%s) — %d tuples\n", name, strings.Join(cols, ", "), rel.Len())
-			}
+			listTables(db)
 			continue
 		}
 		// Drop any interrupt delivered while idling at the prompt so it
@@ -233,6 +244,27 @@ func runREPL(db *pvcagg.Database, opts []pvcagg.Option) {
 			} else {
 				fmt.Fprintln(os.Stderr, err)
 			}
+		}
+	}
+}
+
+// listTables prints every table with its schema — in-memory relations
+// with their tuple counts, disk-backed provider tables without (counting
+// would scan them).
+func listTables(db *pvcagg.Database) {
+	for _, name := range db.Names() {
+		schema, err := db.Schema(name)
+		if err != nil {
+			continue
+		}
+		cols := make([]string, len(schema))
+		for i, c := range schema {
+			cols[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
+		}
+		if rel, err := db.Relation(name); err == nil {
+			fmt.Printf("  %s(%s) — %d tuples\n", name, strings.Join(cols, ", "), rel.Len())
+		} else {
+			fmt.Printf("  %s(%s) — on disk\n", name, strings.Join(cols, ", "))
 		}
 	}
 }

@@ -159,6 +159,20 @@ type execConfig struct {
 	shared     bool
 	ext        *compile.SharedCache
 	evalPath   EvalPath
+	store      *Store
+}
+
+// resolveDB reconciles the database argument with WithStore: a nil db
+// resolves to the store's database, the store's own DB() passes through,
+// and any other non-nil db is a contradiction.
+func (c *execConfig) resolveDB(db *Database) (*Database, error) {
+	if c.store == nil {
+		return db, nil
+	}
+	if db == nil || db == c.store.db {
+		return c.store.db, nil
+	}
+	return nil, errors.New("pvcagg: WithStore conflicts with a different non-nil database; pass nil (or the store's DB()) to run against the store")
 }
 
 // failFastOpt restores the legacy sequential error contract (stop at the
@@ -625,6 +639,9 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 	if err != nil {
 		return nil, err
 	}
+	if db, err = cfg.resolveDB(db); err != nil {
+		return nil, err
+	}
 	chosen := cfg.mode
 	var verdict *Verdict
 	if cfg.mode == Auto {
@@ -671,6 +688,9 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 func ExecTable(ctx context.Context, db *Database, rel *Relation, opts ...Option) (*Result, error) {
 	cfg, err := resolveOptions(opts)
 	if err != nil {
+		return nil, err
+	}
+	if db, err = cfg.resolveDB(db); err != nil {
 		return nil, err
 	}
 	chosen := cfg.mode
@@ -727,6 +747,9 @@ func ExecExpr(ctx context.Context, e Expr, reg *Registry, kind SemiringKind, opt
 	cfg, err := resolveOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.store != nil {
+		return nil, errors.New("pvcagg: WithStore does not apply to ExecExpr: a bare expression carries its own registry and scans no tables")
 	}
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc

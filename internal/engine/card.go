@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"pvcagg/internal/pvc"
@@ -76,6 +77,11 @@ func (e *Estimator) Estimate(p Plan) CardEstimate {
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if est, ok := e.scans[n.Table]; ok {
+			return est
+		}
+		if p, ok := db.Provider(n.Table); ok {
+			est := providerEstimate(p)
+			e.scans[n.Table] = est
 			return est
 		}
 		rel, err := db.Relation(n.Table)
@@ -160,6 +166,56 @@ func (e *Estimator) Estimate(p Plan) CardEstimate {
 	default:
 		return CardEstimate{Rows: 1, Distinct: map[string]float64{}}
 	}
+}
+
+// providerEstimate loads base-table statistics for a provider-backed
+// scan: persisted stats when the backend serves them (no scan at all),
+// otherwise an exact full streaming scan mirroring scanEstimate.
+func providerEstimate(p pvc.TableProvider) CardEstimate {
+	if sp, ok := p.(pvc.StatsProvider); ok {
+		if ts, ok := sp.TableStats(); ok {
+			out := CardEstimate{Rows: ts.Rows, Distinct: make(map[string]float64, len(ts.Distinct))}
+			for c, d := range ts.Distinct {
+				out.Distinct[c] = d
+			}
+			return out
+		}
+	}
+	schema := p.Schema()
+	it, err := p.NewScan(context.Background(), pvc.ScanOptions{})
+	if err != nil {
+		return CardEstimate{Rows: 1, Distinct: map[string]float64{}}
+	}
+	defer it.Close()
+	seen := make([]map[string]bool, len(schema))
+	for i, col := range schema {
+		if col.Type != pvc.TModule {
+			seen[i] = map[string]bool{}
+		}
+	}
+	rows := 0.0
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return CardEstimate{Rows: 1, Distinct: map[string]float64{}}
+		}
+		if !ok {
+			break
+		}
+		rows++
+		for i := range schema {
+			if seen[i] != nil {
+				seen[i][t.Cells[i].Key()] = true
+			}
+		}
+	}
+	out := CardEstimate{Rows: rows, Distinct: make(map[string]float64, len(schema))}
+	for i, col := range schema {
+		if seen[i] != nil {
+			out.Distinct[col.Name] = float64(len(seen[i]))
+		}
+	}
+	return out
 }
 
 // scanEstimate reads exact row and distinct counts off a stored relation.

@@ -79,6 +79,9 @@ func (b *iterBuilder) estimator() *Estimator {
 func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
 	switch n := p.(type) {
 	case *Scan:
+		if p, ok := b.db.Provider(n.Table); ok {
+			return &providerIter{ctx: b.ctx, prov: p}, p.Schema(), n.Table, nil
+		}
 		r, err := b.db.Relation(n.Table)
 		if err != nil {
 			return nil, nil, "", err
@@ -113,6 +116,15 @@ func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
 		atoms, err := resolveSelAtoms(n.Pred, cs)
 		if err != nil {
 			return nil, nil, "", err
+		}
+		// σ over a provider scan (possibly through π̂/δ, which keep column
+		// positions): push the atoms down as advisory block-skipping
+		// hints. Sound only when no atom touches a module column — then
+		// atom evaluation cannot error and cannot rescale annotations, so
+		// a block whose rows all fail a hint (or are all annotated 0S)
+		// contributes nothing to σ's output.
+		if pit, ok := child.(*providerIter); ok && allAtomsHintable(atoms, cs) {
+			pit.pushDown(atoms)
 		}
 		return &selectIter{child: child, atoms: atoms, s: b.s}, cs, fmt.Sprintf("σ(%s)", cname), nil
 
@@ -151,6 +163,11 @@ func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
 			}
 			idx[i] = j
 			schema[i] = cs[j]
+		}
+		// π̂ directly over a provider scan folds into the scan itself:
+		// the storage layer then decodes only the live columns.
+		if pit, ok := child.(*providerIter); ok {
+			return pit.project(idx), schema, fmt.Sprintf("π̂(%s)", cname), nil
 		}
 		return &pruneIter{child: child, idx: idx}, schema, fmt.Sprintf("π̂(%s)", cname), nil
 
@@ -372,6 +389,106 @@ func (b *iterBuilder) buildFusedSelect(n *Select) (Iterator, pvc.Schema, string,
 	return &selectIter{child: pit, atoms: atoms[k:], s: b.s}, schema, name, nil
 }
 
+// providerIter adapts a pvc.TableProvider scan (e.g. an on-disk store
+// table) to the engine Iterator contract. The builder folds π̂ into the
+// scan (the backend then decodes only live columns) and pushes σ atoms
+// down as block-skipping hints; both mutate the iterator before Open,
+// which is what starts the underlying storage scan.
+type providerIter struct {
+	ctx      context.Context
+	prov     pvc.TableProvider
+	cols     []int // output → provider schema index; nil = full schema
+	hints    []pvc.ScanHint
+	dropZero bool
+	it       pvc.TupleIter
+}
+
+// project composes a π̂ column selection into the scan.
+func (it *providerIter) project(idx []int) *providerIter {
+	if it.cols == nil {
+		it.cols = idx
+		return it
+	}
+	cols := make([]int, len(idx))
+	for i, j := range idx {
+		cols[i] = it.cols[j]
+	}
+	it.cols = cols
+	return it
+}
+
+// srcCol maps an output column position back to the provider's schema.
+func (it *providerIter) srcCol(i int) int {
+	if it.cols == nil {
+		return i
+	}
+	return it.cols[i]
+}
+
+// pushDown converts resolved σ atoms into advisory scan hints (by
+// provider column position, so δ renames above the scan are immaterial)
+// and permits the backend to drop rows annotated with the constant 0S —
+// exactly the rows the σ above will drop anyway.
+func (it *providerIter) pushDown(atoms []selAtom) {
+	for _, a := range atoms {
+		h := pvc.ScanHint{Col: it.srcCol(a.li), Th: a.th, RightCol: -1}
+		if a.rv != nil {
+			h.Cell = a.rv
+		} else {
+			h.RightCol = it.srcCol(a.ri)
+		}
+		it.hints = append(it.hints, h)
+	}
+	it.dropZero = true
+}
+
+// allAtomsHintable reports whether every σ atom compares constant cells
+// only — the condition under which atom evaluation cannot error, cannot
+// rescale an annotation, and therefore block skipping plus zero-row
+// dropping below the σ is bit-for-bit sound.
+func allAtomsHintable(atoms []selAtom, cs pvc.Schema) bool {
+	for _, a := range atoms {
+		if cs[a.li].Type == pvc.TModule {
+			return false
+		}
+		if a.rv != nil {
+			if !a.rv.IsConst() {
+				return false
+			}
+		} else if cs[a.ri].Type == pvc.TModule {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *providerIter) Open() error {
+	sc, err := it.prov.NewScan(it.ctx, pvc.ScanOptions{
+		Cols: it.cols, Hints: it.hints, DropZero: it.dropZero,
+	})
+	if err != nil {
+		return err
+	}
+	it.it = sc
+	return nil
+}
+
+func (it *providerIter) Next() (pvc.Tuple, bool, error) {
+	if it.it == nil {
+		return pvc.Tuple{}, false, fmt.Errorf("engine: scan of %s: Next before Open or after Close", it.prov.TableName())
+	}
+	return it.it.Next()
+}
+
+func (it *providerIter) Close() error {
+	if it.it == nil {
+		return nil
+	}
+	sc := it.it
+	it.it = nil
+	return sc.Close()
+}
+
 // sliceIter streams a stored relation's tuples in place — the lazy Scan.
 type sliceIter struct {
 	tuples []pvc.Tuple
@@ -571,7 +688,7 @@ type unionIter struct {
 	drained    bool
 	order      []string
 	groupCells map[string][]pvc.Cell
-	groupAnns  map[string][]expr.Expr
+	groupAnns  map[string]*annSum
 	i          int
 }
 
@@ -585,7 +702,7 @@ func (it *unionIter) Open() error {
 func (it *unionIter) drain() error {
 	it.drained = true
 	it.groupCells = map[string][]pvc.Cell{}
-	it.groupAnns = map[string][]expr.Expr{}
+	it.groupAnns = map[string]*annSum{}
 	for _, side := range [2]Iterator{it.l, it.r} {
 		for n := 0; ; n++ {
 			t, ok, err := side.Next()
@@ -599,8 +716,9 @@ func (it *unionIter) drain() error {
 			if _, seen := it.groupCells[key]; !seen {
 				it.order = append(it.order, key)
 				it.groupCells[key] = t.Cells
+				it.groupAnns[key] = newAnnSum(it.s)
 			}
-			it.groupAnns[key] = append(it.groupAnns[key], t.Ann)
+			it.groupAnns[key].add(t.Ann)
 			if n&ctxPollMask == ctxPollMask {
 				if err := it.ctx.Err(); err != nil {
 					return err
@@ -622,8 +740,7 @@ func (it *unionIter) Next() (pvc.Tuple, bool, error) {
 	}
 	key := it.order[it.i]
 	it.i++
-	ann := expr.Simplify(expr.Sum(it.groupAnns[key]...), it.s)
-	return pvc.Tuple{Cells: it.groupCells[key], Ann: ann}, true, nil
+	return pvc.Tuple{Cells: it.groupCells[key], Ann: it.groupAnns[key].result()}, true, nil
 }
 
 func (it *unionIter) Close() error {
@@ -647,7 +764,7 @@ type projectIter struct {
 	drained    bool
 	order      []string
 	groupCells map[string][]pvc.Cell
-	groupAnns  map[string][]expr.Expr
+	groupAnns  map[string]*annSum
 	i          int
 }
 
@@ -656,7 +773,7 @@ func (it *projectIter) Open() error { return it.child.Open() }
 func (it *projectIter) drain() error {
 	it.drained = true
 	it.groupCells = map[string][]pvc.Cell{}
-	it.groupAnns = map[string][]expr.Expr{}
+	it.groupAnns = map[string]*annSum{}
 	for n := 0; ; n++ {
 		t, ok, err := it.child.Next()
 		if err != nil {
@@ -673,8 +790,9 @@ func (it *projectIter) drain() error {
 			}
 			it.order = append(it.order, key)
 			it.groupCells[key] = cells
+			it.groupAnns[key] = newAnnSum(it.s)
 		}
-		it.groupAnns[key] = append(it.groupAnns[key], t.Ann)
+		it.groupAnns[key].add(t.Ann)
 		if n&ctxPollMask == ctxPollMask {
 			if err := it.ctx.Err(); err != nil {
 				return err
@@ -694,8 +812,7 @@ func (it *projectIter) Next() (pvc.Tuple, bool, error) {
 	}
 	key := it.order[it.i]
 	it.i++
-	ann := expr.Simplify(expr.Sum(it.groupAnns[key]...), it.s)
-	return pvc.Tuple{Cells: it.groupCells[key], Ann: ann}, true, nil
+	return pvc.Tuple{Cells: it.groupCells[key], Ann: it.groupAnns[key].result()}, true, nil
 }
 
 func (it *projectIter) Close() error { return it.child.Close() }
@@ -708,13 +825,23 @@ type aggColRef struct {
 }
 
 // gaGroup accumulates one $ group incrementally: the representative
-// group-by cells, the per-aggregation semimodule terms, and the row
-// annotations for the Figure 4 non-emptiness condition — all in row
-// arrival order, matching the materializing path's expression structure.
+// group-by cells, one constant-folding semimodule accumulator per
+// aggregation, and the folded row-annotation sum for the Figure 4
+// non-emptiness condition. Constants fold at arrival (O(1) state for
+// deterministic data); non-constant terms are retained in row arrival
+// order, matching the materializing path's expression structure.
 type gaGroup struct {
 	cells []pvc.Cell
-	terms [][]expr.Expr
-	anns  []expr.Expr
+	aggs  []*modSum
+	ann   *annSum
+}
+
+func newGaGroup(cells []pvc.Cell, s algebra.Semiring, aggs []aggColRef) *gaGroup {
+	g := &gaGroup{cells: cells, aggs: make([]*modSum, len(aggs)), ann: newAnnSum(s)}
+	for ai, a := range aggs {
+		g.aggs[ai] = newModSum(s, a.spec.Agg)
+	}
+	return g
 }
 
 // groupAggIter is the $ sink.
@@ -752,7 +879,7 @@ func (it *groupAggIter) drain() error {
 			for i, j := range it.gIdx {
 				cells[i] = t.Cells[j]
 			}
-			g = &gaGroup{cells: cells, terms: make([][]expr.Expr, len(it.aggs))}
+			g = newGaGroup(cells, it.s, it.aggs)
 			it.groups[key] = g
 			it.order = append(it.order, key)
 		}
@@ -767,9 +894,9 @@ func (it *groupAggIter) drain() error {
 				}
 				mv = c.Value()
 			}
-			g.terms[ai] = append(g.terms[ai], expr.Scale(a.spec.Agg, t.Ann, mv))
+			g.aggs[ai].add(t.Ann, mv)
 		}
-		g.anns = append(g.anns, t.Ann)
+		g.ann.add(t.Ann)
 		if n&ctxPollMask == ctxPollMask {
 			if err := it.ctx.Err(); err != nil {
 				return err
@@ -780,7 +907,7 @@ func (it *groupAggIter) drain() error {
 	// on empty input) annotated 1K.
 	if !it.grouped && len(it.order) == 0 {
 		it.order = append(it.order, "")
-		it.groups[""] = &gaGroup{terms: make([][]expr.Expr, len(it.aggs))}
+		it.groups[""] = newGaGroup(nil, it.s, it.aggs)
 	}
 	sort.Strings(it.order)
 	return nil
@@ -799,20 +926,12 @@ func (it *groupAggIter) Next() (pvc.Tuple, bool, error) {
 	it.i++
 	cells := make([]pvc.Cell, 0, len(g.cells)+len(it.aggs))
 	cells = append(cells, g.cells...)
-	for ai, a := range it.aggs {
-		terms := g.terms[ai]
-		var agg expr.Expr
-		if len(terms) == 0 {
-			agg = expr.MConst{V: algebra.MonoidFor(a.spec.Agg).Neutral()}
-		} else {
-			agg = expr.Simplify(expr.MSum(a.spec.Agg, terms...), it.s)
-		}
-		cells = append(cells, pvc.ExprCell(agg))
+	for ai := range it.aggs {
+		cells = append(cells, pvc.ExprCell(g.aggs[ai].result()))
 	}
 	var ann expr.Expr = expr.CInt(1)
 	if it.grouped {
-		ann = expr.Simplify(
-			expr.Compare(value.NE, expr.Sum(g.anns...), expr.CInt(0)), it.s)
+		ann = g.ann.neCond()
 	}
 	return pvc.Tuple{Cells: cells, Ann: ann}, true, nil
 }

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -165,6 +166,9 @@ func cellLiteral(c pvc.Cell) string {
 // Eval implementations.
 
 func (p *Scan) Eval(db *pvc.Database) (*pvc.Relation, error) {
+	if prov, ok := db.Provider(p.Table); ok {
+		return pvc.MaterializeProvider(context.Background(), prov)
+	}
 	r, err := db.Relation(p.Table)
 	if err != nil {
 		return nil, err

@@ -14,11 +14,11 @@ import (
 func InferSchema(p Plan, db *pvc.Database) (pvc.Schema, error) {
 	switch n := p.(type) {
 	case *Scan:
-		r, err := db.Relation(n.Table)
+		s, err := db.Schema(n.Table)
 		if err != nil {
 			return nil, err
 		}
-		return r.Schema.Clone(), nil
+		return s.Clone(), nil
 	case *Rename:
 		in, err := InferSchema(n.Input, db)
 		if err != nil {

@@ -143,10 +143,11 @@ func (r *Relation) String() string {
 
 // Database is a pvc-database: named pvc-tables over one probability space.
 type Database struct {
-	Registry *vars.Registry
-	Kind     algebra.SemiringKind
-	rels     map[string]*Relation
-	order    []string
+	Registry  *vars.Registry
+	Kind      algebra.SemiringKind
+	rels      map[string]*Relation
+	providers map[string]TableProvider
+	order     []string
 }
 
 // NewDatabase returns an empty database over a fresh registry.

@@ -157,7 +157,7 @@ func bindFromItem(db *pvc.Database, f pvql.FromItem) (source, error) {
 		}
 		return source{plan: plan, schema: schema, name: f.Alias, item: f}, nil
 	}
-	rel, err := db.Relation(f.Table)
+	schema, err := db.Schema(f.Table)
 	if err != nil {
 		names := db.Names()
 		return source{}, errf(f.Pos, f.End, "unknown table %q (have %s)", f.Table, strings.Join(names, ", "))
@@ -166,7 +166,7 @@ func bindFromItem(db *pvc.Database, f pvql.FromItem) (source, error) {
 	if name == "" {
 		name = f.Table
 	}
-	return source{plan: &engine.Scan{Table: f.Table}, schema: rel.Schema.Clone(), name: name, item: f}, nil
+	return source{plan: &engine.Scan{Table: f.Table}, schema: schema.Clone(), name: name, item: f}, nil
 }
 
 // resolve maps a column reference to its column in the combined schema.

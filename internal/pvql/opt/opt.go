@@ -539,23 +539,23 @@ func greedyJoin(leaves []engine.Plan, db *pvc.Database, est *engine.Estimator) (
 func prunePass(p engine.Plan, db *pvc.Database, live map[string]bool) engine.Plan {
 	switch n := p.(type) {
 	case *engine.Scan:
-		rel, err := db.Relation(n.Table)
+		schema, err := db.Schema(n.Table)
 		if err != nil {
 			return p
 		}
 		var keep []string
-		for _, c := range rel.Schema {
+		for _, c := range schema {
 			if live[c.Name] {
 				keep = append(keep, c.Name)
 			}
 		}
-		if len(keep) == len(rel.Schema) {
+		if len(keep) == len(schema) {
 			return p
 		}
 		if len(keep) == 0 {
 			// A source referenced only for its annotations still needs one
 			// column to remain a relation.
-			keep = []string{rel.Schema[0].Name}
+			keep = []string{schema[0].Name}
 		}
 		return &engine.Prune{Input: p, Cols: keep}
 	case *engine.Rename:

@@ -1,0 +1,477 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/prob"
+	"pvcagg/internal/pvc"
+	"pvcagg/internal/vars"
+)
+
+// ErrCorrupt is the sentinel wrapped by every *CorruptError, so callers
+// can errors.Is(err, store.ErrCorrupt) without caring which file or
+// block failed.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// ErrClosed is returned by Next after Close, and by Next when Open (the
+// engine-side NewScan) never ran.
+var ErrClosed = errors.New("store: iterator closed")
+
+// CorruptError reports a failed CRC, a truncated file, or an undecodable
+// segment, locating the damage.
+type CorruptError struct {
+	File   string
+	Block  int // block index within the file; -1 for file-level damage
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Block < 0 {
+		return fmt.Sprintf("store: %s: %s", e.File, e.Reason)
+	}
+	return fmt.Sprintf("store: %s: block %d: %s", e.File, e.Block, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// Metrics counts scan-level I/O. Bytes skipped are the encoded lengths
+// of blocks the zone maps or annotation summaries proved irrelevant —
+// the direct measure of how much the index saved.
+type Metrics struct {
+	BlocksRead    atomic.Int64
+	BlocksSkipped atomic.Int64
+	BytesRead     atomic.Int64
+	BytesSkipped  atomic.Int64
+	RowsRead      atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	BlocksRead    int64
+	BlocksSkipped int64
+	BytesRead     int64
+	BytesSkipped  int64
+	RowsRead      int64
+}
+
+// Store is a read-only snapshot of an on-disk store directory: the
+// manifest (block index and statistics) and variable registry are loaded
+// at Open and never re-read, so a Store observes exactly one epoch even
+// if the directory is later replaced by a new ingest.
+type Store struct {
+	dir      string
+	man      manifest
+	kind     algebra.SemiringKind
+	reg      *vars.Registry
+	varNames []string
+	tables   map[string]*Table
+	order    []string
+	metrics  Metrics
+}
+
+// Open loads the manifest and variable registry of a store directory. A
+// directory without a committed manifest (e.g. after a crashed ingest)
+// is refused with a plain error; damaged files surface *CorruptError.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s is not a store (no committed manifest): %w", dir, err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, &CorruptError{File: manifestName, Block: -1, Reason: fmt.Sprintf("bad manifest: %v", err)}
+	}
+	if man.Format != Format {
+		return nil, fmt.Errorf("store: %s: format %d not supported (want %d)", dir, man.Format, Format)
+	}
+	kind, err := parseSemiring(man.Semiring)
+	if err != nil {
+		return nil, &CorruptError{File: manifestName, Block: -1, Reason: err.Error()}
+	}
+	st := &Store{dir: dir, man: man, kind: kind, tables: map[string]*Table{}}
+	if err := st.loadVars(); err != nil {
+		return nil, err
+	}
+	for i := range man.Tables {
+		tm := &man.Tables[i]
+		t := &Table{st: st, meta: tm}
+		for _, c := range tm.Cols {
+			ty := pvc.TValue
+			if c.Type == "string" {
+				ty = pvc.TString
+			}
+			t.schema = append(t.schema, pvc.Col{Name: c.Name, Type: ty})
+		}
+		for bi, b := range tm.Blocks {
+			if len(b.Mins) != len(t.schema) || len(b.Maxs) != len(t.schema) {
+				return nil, &CorruptError{File: manifestName, Block: bi, Reason: fmt.Sprintf("table %s: zone map arity mismatch", tm.Name)}
+			}
+			mins := make([]pvc.Cell, len(t.schema))
+			maxs := make([]pvc.Cell, len(t.schema))
+			for ci := range t.schema {
+				if mins[ci], err = parseZone(b.Mins[ci], t.schema[ci].Type); err != nil {
+					return nil, &CorruptError{File: manifestName, Block: bi, Reason: fmt.Sprintf("table %s: bad zone map: %v", tm.Name, err)}
+				}
+				if maxs[ci], err = parseZone(b.Maxs[ci], t.schema[ci].Type); err != nil {
+					return nil, &CorruptError{File: manifestName, Block: bi, Reason: fmt.Sprintf("table %s: bad zone map: %v", tm.Name, err)}
+				}
+			}
+			t.mins = append(t.mins, mins)
+			t.maxs = append(t.maxs, maxs)
+		}
+		if _, dup := st.tables[tm.Name]; dup {
+			return nil, &CorruptError{File: manifestName, Block: -1, Reason: fmt.Sprintf("duplicate table %q", tm.Name)}
+		}
+		st.tables[tm.Name] = t
+		st.order = append(st.order, tm.Name)
+	}
+	return st, nil
+}
+
+// loadVars reads vars.dat (absent when no annotation references a
+// variable) into a fresh registry.
+func (st *Store) loadVars() error {
+	st.reg = vars.NewRegistry()
+	data, err := os.ReadFile(filepath.Join(st.dir, varsName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read %s: %w", varsName, err)
+	}
+	if len(data) < len(varsMagic)+4 || string(data[:len(varsMagic)]) != varsMagic {
+		return &CorruptError{File: varsName, Block: -1, Reason: "bad magic"}
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return &CorruptError{File: varsName, Block: -1, Reason: "checksum mismatch"}
+	}
+	r := &reader{buf: body, pos: len(varsMagic)}
+	n, err := r.uvarint()
+	if err != nil {
+		return &CorruptError{File: varsName, Block: -1, Reason: err.Error()}
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := r.string()
+		if err != nil {
+			return &CorruptError{File: varsName, Block: -1, Reason: err.Error()}
+		}
+		np, err := r.uvarint()
+		if err != nil {
+			return &CorruptError{File: varsName, Block: -1, Reason: err.Error()}
+		}
+		pairs := make([]prob.Pair, 0, np)
+		for j := uint64(0); j < np; j++ {
+			v, err := r.value()
+			if err != nil {
+				return &CorruptError{File: varsName, Block: -1, Reason: err.Error()}
+			}
+			p, err := r.float64()
+			if err != nil {
+				return &CorruptError{File: varsName, Block: -1, Reason: err.Error()}
+			}
+			pairs = append(pairs, prob.Pair{V: v, P: p})
+		}
+		if len(pairs) == 0 || st.reg.Has(name) {
+			return &CorruptError{File: varsName, Block: -1, Reason: fmt.Sprintf("bad variable record %q", name)}
+		}
+		st.reg.Declare(name, prob.FromPairs(pairs))
+		st.varNames = append(st.varNames, name)
+	}
+	return nil
+}
+
+// Epoch returns the snapshot's epoch stamp from the manifest.
+func (st *Store) Epoch() uint64 { return st.man.Epoch }
+
+// Kind returns the semiring the store's annotations are valued in.
+func (st *Store) Kind() algebra.SemiringKind { return st.kind }
+
+// Registry returns the variable registry loaded from the store.
+func (st *Store) Registry() *vars.Registry { return st.reg }
+
+// Names lists the stored tables in ingest order.
+func (st *Store) Names() []string {
+	out := make([]string, len(st.order))
+	copy(out, st.order)
+	return out
+}
+
+// Table returns the named stored table.
+func (st *Store) Table(name string) (*Table, bool) {
+	t, ok := st.tables[name]
+	return t, ok
+}
+
+// Database assembles a pvc.Database whose scans resolve to this store:
+// every stored table is registered as a TableProvider over the store's
+// registry and semiring.
+func (st *Store) Database() *pvc.Database {
+	db := pvc.NewDatabase(st.kind)
+	db.Registry = st.reg
+	for _, name := range st.order {
+		db.AddProvider(st.tables[name])
+	}
+	return db
+}
+
+// Metrics returns a snapshot of the scan counters.
+func (st *Store) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		BlocksRead:    st.metrics.BlocksRead.Load(),
+		BlocksSkipped: st.metrics.BlocksSkipped.Load(),
+		BytesRead:     st.metrics.BytesRead.Load(),
+		BytesSkipped:  st.metrics.BytesSkipped.Load(),
+		RowsRead:      st.metrics.RowsRead.Load(),
+	}
+}
+
+// ResetMetrics zeroes the scan counters.
+func (st *Store) ResetMetrics() {
+	st.metrics.BlocksRead.Store(0)
+	st.metrics.BlocksSkipped.Store(0)
+	st.metrics.BytesRead.Store(0)
+	st.metrics.BytesSkipped.Store(0)
+	st.metrics.RowsRead.Store(0)
+}
+
+// Table is one stored table: schema, block index with parsed zone maps,
+// and persisted statistics. It implements pvc.TableProvider and
+// pvc.StatsProvider.
+type Table struct {
+	st         *Store
+	meta       *tableMeta
+	schema     pvc.Schema
+	mins, maxs [][]pvc.Cell
+}
+
+// TableName implements pvc.TableProvider.
+func (t *Table) TableName() string { return t.meta.Name }
+
+// Schema implements pvc.TableProvider. The caller must not mutate it.
+func (t *Table) Schema() pvc.Schema { return t.schema }
+
+// Rows returns the stored row count.
+func (t *Table) Rows() int64 { return t.meta.Rows }
+
+// Blocks returns the number of blocks.
+func (t *Table) Blocks() int { return len(t.meta.Blocks) }
+
+// TableStats implements pvc.StatsProvider from the persisted manifest
+// statistics — no scan.
+func (t *Table) TableStats() (pvc.TableStats, bool) {
+	ts := pvc.TableStats{Rows: float64(t.meta.Rows), Distinct: make(map[string]float64, len(t.meta.Distinct))}
+	for k, v := range t.meta.Distinct {
+		ts.Distinct[k] = v
+	}
+	return ts, true
+}
+
+// NewScan implements pvc.TableProvider: a batched block-granular scan
+// that skips blocks the zone maps prove cannot satisfy a hint, and —
+// when DropZero is set — blocks whose annotation summary proves every
+// row is annotated 0S.
+func (t *Table) NewScan(ctx context.Context, opts pvc.ScanOptions) (pvc.TupleIter, error) {
+	cols := opts.Cols
+	if cols == nil {
+		cols = make([]int, len(t.schema))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.schema) {
+			return nil, fmt.Errorf("store: %s: column index %d out of range", t.meta.Name, c)
+		}
+	}
+	need := make([]bool, len(t.schema))
+	for _, c := range cols {
+		need[c] = true
+	}
+	f, err := os.Open(filepath.Join(t.st.dir, t.meta.File))
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", t.meta.Name, err)
+	}
+	return &scanIter{
+		ctx: ctx, t: t, f: f,
+		cols: cols, need: need,
+		hints: opts.Hints, dropZero: opts.DropZero,
+	}, nil
+}
+
+// scanIter streams one table block by block.
+type scanIter struct {
+	ctx      context.Context
+	t        *Table
+	f        *os.File
+	cols     []int
+	need     []bool
+	hints    []pvc.ScanHint
+	dropZero bool
+
+	bi     int
+	batch  []pvc.Tuple
+	ri     int
+	closed bool
+}
+
+// skip reports whether block bi can be skipped without reading it.
+func (it *scanIter) skip(bi int) bool {
+	if it.dropZero && it.t.meta.Blocks[bi].AllZero {
+		return true
+	}
+	for _, h := range it.hints {
+		if !blockMayMatch(h, it.t.mins[bi], it.t.maxs[bi]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *scanIter) Next() (pvc.Tuple, bool, error) {
+	if it.closed {
+		return pvc.Tuple{}, false, ErrClosed
+	}
+	for {
+		if it.ri < len(it.batch) {
+			t := it.batch[it.ri]
+			it.ri++
+			return t, true, nil
+		}
+		if err := it.ctx.Err(); err != nil {
+			return pvc.Tuple{}, false, err
+		}
+		m := &it.t.st.metrics
+		for it.bi < len(it.t.meta.Blocks) && it.skip(it.bi) {
+			m.BlocksSkipped.Add(1)
+			m.BytesSkipped.Add(int64(it.t.meta.Blocks[it.bi].Len))
+			it.bi++
+		}
+		if it.bi >= len(it.t.meta.Blocks) {
+			return pvc.Tuple{}, false, nil
+		}
+		batch, err := it.readBlock(it.bi)
+		if err != nil {
+			return pvc.Tuple{}, false, err
+		}
+		m.BlocksRead.Add(1)
+		m.BytesRead.Add(int64(it.t.meta.Blocks[it.bi].Len))
+		m.RowsRead.Add(int64(len(batch)))
+		it.bi++
+		it.batch, it.ri = batch, 0
+	}
+}
+
+// readBlock reads, verifies, and decodes one block, materializing only
+// the needed columns.
+func (it *scanIter) readBlock(bi int) ([]pvc.Tuple, error) {
+	bm := it.t.meta.Blocks[bi]
+	corrupt := func(reason string) error {
+		return &CorruptError{File: it.t.meta.File, Block: bi, Reason: reason}
+	}
+	buf := make([]byte, bm.Len)
+	if _, err := it.f.ReadAt(buf, bm.Off); err != nil {
+		return nil, corrupt(fmt.Sprintf("read %d bytes at %d: %v", bm.Len, bm.Off, err))
+	}
+	if len(buf) < len(blockMagic)+4 || string(buf[:len(blockMagic)]) != blockMagic {
+		return nil, corrupt("bad magic")
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, corrupt("checksum mismatch")
+	}
+	r := &reader{buf: body, pos: len(blockMagic)}
+	nrows, err := r.uvarint()
+	if err != nil {
+		return nil, corrupt(err.Error())
+	}
+	if int(nrows) != bm.Rows {
+		return nil, corrupt(fmt.Sprintf("row count %d does not match index entry %d", nrows, bm.Rows))
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, corrupt(err.Error())
+	}
+	if int(ncols) != len(it.t.schema) {
+		return nil, corrupt(fmt.Sprintf("column count %d does not match schema arity %d", ncols, len(it.t.schema)))
+	}
+	colCells := make([][]pvc.Cell, len(it.t.schema))
+	for ci := range it.t.schema {
+		seglen, err := r.uvarint()
+		if err != nil {
+			return nil, corrupt(err.Error())
+		}
+		seg, err := r.bytes(seglen)
+		if err != nil {
+			return nil, corrupt(err.Error())
+		}
+		if !it.need[ci] {
+			continue
+		}
+		cells := make([]pvc.Cell, nrows)
+		sr := &reader{buf: seg}
+		if it.t.schema[ci].Type == pvc.TValue {
+			for i := range cells {
+				v, err := sr.value()
+				if err != nil {
+					return nil, corrupt(fmt.Sprintf("column %s: %v", it.t.schema[ci].Name, err))
+				}
+				cells[i] = pvc.ValueCell(v)
+			}
+		} else {
+			for i := range cells {
+				s, err := sr.string()
+				if err != nil {
+					return nil, corrupt(fmt.Sprintf("column %s: %v", it.t.schema[ci].Name, err))
+				}
+				cells[i] = pvc.StringCell(s)
+			}
+		}
+		colCells[ci] = cells
+	}
+	seglen, err := r.uvarint()
+	if err != nil {
+		return nil, corrupt(err.Error())
+	}
+	seg, err := r.bytes(seglen)
+	if err != nil {
+		return nil, corrupt(err.Error())
+	}
+	sr := &reader{buf: seg}
+	out := make([]pvc.Tuple, 0, nrows)
+	for i := 0; i < int(nrows); i++ {
+		ann, err := sr.ann(it.t.st.varNames)
+		if err != nil {
+			return nil, corrupt(fmt.Sprintf("annotation: %v", err))
+		}
+		if it.dropZero {
+			if _, zero := annClass(ann); zero {
+				continue
+			}
+		}
+		cells := make([]pvc.Cell, len(it.cols))
+		for o, ci := range it.cols {
+			cells[o] = colCells[ci][i]
+		}
+		out = append(out, pvc.Tuple{Cells: cells, Ann: ann})
+	}
+	return out, nil
+}
+
+func (it *scanIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.batch = nil
+	return it.f.Close()
+}

@@ -285,7 +285,7 @@ func flatten(p engine.Plan, db *pvc.Database) (*flatQuery, error) {
 func (q *flatQuery) walk(p engine.Plan, db *pvc.Database, rename map[string]string, top bool) error {
 	switch n := p.(type) {
 	case *engine.Scan:
-		rel, err := db.Relation(n.Table)
+		schema, err := db.Schema(n.Table)
 		if err != nil {
 			return err
 		}
@@ -295,7 +295,7 @@ func (q *flatQuery) walk(p engine.Plan, db *pvc.Database, rename map[string]stri
 			}
 		}
 		attrs := map[string]bool{}
-		for _, c := range rel.Schema {
+		for _, c := range schema {
 			name := c.Name
 			if to, ok := rename[name]; ok {
 				name = to

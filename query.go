@@ -56,6 +56,15 @@ func parseQueryNaive(db *Database, query string) (Plan, error) {
 //	res, err := pvcagg.ExecQuery(ctx, db, "SELECT a, COUNT(*) AS n FROM R GROUP BY a")
 //	outs, err := res.Collect()
 func ExecQuery(ctx context.Context, db *Database, query string, opts ...Option) (*Result, error) {
+	// WithStore resolves before the parse: binding needs the store's
+	// table schemas. Exec re-resolves the same way (idempotent).
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if db, err = cfg.resolveDB(db); err != nil {
+		return nil, err
+	}
 	plan, err := ParseQuery(db, query)
 	if err != nil {
 		return nil, err
