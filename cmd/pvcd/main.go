@@ -54,10 +54,13 @@ func main() {
 		cacheEntries = flag.Int("shared-cache-entries", 0, "cross-query compilation cache bound (0 = default, negative disables)")
 		parallel     = flag.Int("parallel", 1, "per-query engine parallelism (0 = GOMAXPROCS)")
 		storeDir     = flag.String("store", "", "serve a disk-backed database written by pvcimport instead of a -demo database")
+		drainTimeout = flag.Duration("drain-timeout", 20*time.Second, "SIGTERM drain deadline for in-flight queries")
+		retryBudget  = flag.Int("retry-budget", 256, "per-query retry budget for transient store read errors (negative disables retries)")
 	)
 	flag.Parse()
 
 	var db *pvcagg.Database
+	var health func() error
 	served := *demo + " demo"
 	if *storeDir != "" {
 		st, err := pvcagg.OpenStore(*storeDir)
@@ -65,6 +68,7 @@ func main() {
 			log.Fatalf("pvcd: %v", err)
 		}
 		db = st.DB()
+		health = st.Healthy
 		served = fmt.Sprintf("store %s (epoch %d)", *storeDir, st.Epoch())
 	} else {
 		var err error
@@ -72,7 +76,7 @@ func main() {
 			log.Fatalf("pvcd: %v", err)
 		}
 	}
-	srv := server.New(db, server.Config{
+	cfg := server.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		MaxQueueWait:       *maxQueueWait,
@@ -82,20 +86,32 @@ func main() {
 		PlanCacheSize:      *planCache,
 		SharedCacheEntries: *cacheEntries,
 		Parallelism:        *parallel,
-	})
+		Health:             health,
+	}
+	if *retryBudget >= 0 {
+		// Bounded skips are on for the service: a block that is unreadable
+		// after retries but provably contributes nothing degrades the
+		// answer (degraded:true) instead of failing it.
+		cfg.Retry = &pvcagg.RetryPolicy{Budget: *retryBudget, AllowBoundedSkip: true}
+	}
+	srv := server.New(db, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
+		// Readiness flips first so load balancers stop routing here, then
+		// Shutdown stops accepting and waits for in-flight queries under
+		// the drain deadline.
+		srv.BeginDrain()
 		log.Println("pvcd: draining in-flight queries (interrupt again to force exit)")
 		go func() {
 			<-sigs
 			log.Println("pvcd: forced exit")
 			os.Exit(1)
 		}()
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("pvcd: shutdown: %v", err)

@@ -14,6 +14,7 @@ import (
 	"pvcagg/internal/core"
 	"pvcagg/internal/engine"
 	"pvcagg/internal/expr"
+	"pvcagg/internal/store"
 	"pvcagg/internal/tractable"
 	"pvcagg/internal/worlds"
 )
@@ -135,6 +136,14 @@ type TupleOutcome = engine.TupleOutcome
 // TupleReport is the per-tuple cost report across strategies.
 type TupleReport = engine.TupleReport
 
+// PanicError is a panic recovered inside an engine worker goroutine,
+// converted to a typed per-tuple error; the other tuples of the batch
+// are unaffected and the process survives.
+type PanicError = engine.PanicError
+
+// IsPanic reports whether err is (or wraps) a contained worker panic.
+func IsPanic(err error) bool { return engine.IsPanic(err) }
+
 // Option configures Exec, ExecTable and ExecExpr.
 type Option func(*execConfig)
 
@@ -160,6 +169,8 @@ type execConfig struct {
 	ext        *compile.SharedCache
 	evalPath   EvalPath
 	store      *Store
+	retry      RetryPolicy
+	retrySet   bool
 }
 
 // resolveDB reconciles the database argument with WithStore: a nil db
@@ -506,6 +517,23 @@ func (c *execConfig) build(chosen Mode, verdict *Verdict) (Strategy, engine.Exec
 	return strat, ecfg, cache
 }
 
+// WithRetry attaches a per-query retry budget for transient store read
+// errors: each failing block read is retried under capped exponential
+// backoff with deterministic jitter, drawing on the policy's shared
+// budget across every scan the query opens. ErrStoreCorrupt never
+// retries (damage does not heal). When the policy allows bounded skips,
+// a block that stays unreadable after retries is dropped soundly if its
+// annotation summary proves every row is annotated zero — the degraded
+// answer can only omit tuples whose confidence is exactly 0, and the
+// skip is counted in Report.Store.BoundedBlocks; otherwise the query
+// fails with an error matching ErrStorePartial. Zero policy fields take
+// defaults (see store.DefaultRetryPolicy). Without WithRetry, scans
+// still retry transient blips under a private per-scan default budget,
+// but nothing is surfaced in the report and bounded skips are off.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *execConfig) { c.retry, c.retrySet = p, true }
+}
+
 // ErrConsumed is returned when a Result's streaming iterator has already
 // been consumed; run Exec again to iterate anew.
 var ErrConsumed = errors.New("pvcagg: Result stream already consumed")
@@ -517,6 +545,11 @@ type ExecReport struct {
 	// (WithSharedCache): compiler node hits/misses and evaluator
 	// distribution hits/misses. All zeros when the cache is disabled.
 	SharedCache CacheStats
+	// Store reports what the WithRetry budget actually did: reads that
+	// needed retrying, retries spent, operations abandoned, and blocks
+	// soundly skipped via their all-zero annotation summaries. All zeros
+	// without WithRetry.
+	Store RetryStats
 }
 
 // CacheStats is a snapshot of the cross-tuple cache counters; see
@@ -544,6 +577,7 @@ type Result struct {
 	db     *Database
 	cfg    engine.ExecConfig
 	cache  *compile.SharedCache
+	retry  *store.RetryState
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -566,6 +600,9 @@ func (r *Result) Close() { r.finish() }
 func (r *Result) finish() {
 	if r.cache != nil {
 		r.Report.SharedCache = r.cache.Stats()
+	}
+	if r.retry != nil {
+		r.Report.Store = r.retry.Snapshot()
 	}
 	if r.cancel != nil {
 		r.cancel()
@@ -658,6 +695,11 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 	if cfg.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 	}
+	var retry *store.RetryState
+	if cfg.retrySet {
+		retry = store.NewRetryState(cfg.retry)
+		ctx = store.ContextWithRetry(ctx, retry)
+	}
 	evalFn := engine.StreamEvalPlan
 	if cfg.evalPath == MaterializedEval {
 		evalFn = engine.EvalPlan
@@ -669,16 +711,23 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 		}
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Rel:      rel,
 		Strategy: strat,
 		Timing:   RunTiming{Construct: construct},
 		db:       db,
 		cfg:      ecfg,
 		cache:    cache,
+		retry:    retry,
 		ctx:      ctx,
 		cancel:   cancel,
-	}, nil
+	}
+	if retry != nil {
+		// Scans happen in step I, which is already done; surface the
+		// retry counters even if the Result is never consumed.
+		res.Report.Store = retry.Snapshot()
+	}
+	return res, nil
 }
 
 // ExecTable is Exec over an already-evaluated pvc-table: only step II

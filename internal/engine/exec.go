@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,6 +140,36 @@ func (w *worker) outcome(ctx context.Context, idx int, t pvc.Tuple, moduleCols [
 	return out, nil
 }
 
+// PanicError is a panic recovered in a worker-pool goroutine, converted
+// to a typed per-tuple error: the panicking tuple fails, the other
+// tuples of the batch are unaffected, and the process survives.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: panic computing tuple %d: %v", e.Index, e.Value)
+}
+
+// IsPanic reports whether err is (or wraps) a contained worker panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// safeOutcome is outcome with panic containment.
+func (w *worker) safeOutcome(ctx context.Context, idx int, t pvc.Tuple, moduleCols []int) (out TupleOutcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = TupleOutcome{}
+			err = &PanicError{Index: idx, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return w.outcome(ctx, idx, t, moduleCols)
+}
+
 // sampleConfidence estimates the annotation's truth probability from
 // Samples explicitly-seeded worlds, returning a 95% Hoeffding interval
 // (statistical, unlike the anytime engine's guaranteed bounds).
@@ -183,7 +214,7 @@ func Outcomes(ctx context.Context, db *pvc.Database, rel *pvc.Relation, cfg Exec
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = wk.outcome(ctx, i, rel.Tuples[i], moduleCols)
+				out[i], errs[i] = wk.safeOutcome(ctx, i, rel.Tuples[i], moduleCols)
 				if errs[i] != nil && cfg.FailFast {
 					aborted.Store(true)
 					return
@@ -251,7 +282,7 @@ func Stream(ctx context.Context, db *pvc.Database, rel *pvc.Relation, cfg ExecCo
 					if i >= n {
 						return
 					}
-					out, err := wk.outcome(sctx, i, rel.Tuples[i], moduleCols)
+					out, err := wk.safeOutcome(sctx, i, rel.Tuples[i], moduleCols)
 					select {
 					case ch <- item{out, err}:
 					case <-sctx.Done():

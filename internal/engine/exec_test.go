@@ -11,6 +11,7 @@ import (
 	"pvcagg/internal/engine"
 	"pvcagg/internal/expr"
 	"pvcagg/internal/pvc"
+	"pvcagg/internal/testutil"
 )
 
 // streamDB builds a pvc-table with some healthy tuples and two tuples
@@ -93,6 +94,46 @@ func TestStreamCancelled(t *testing.T) {
 	if n == len(rel.Tuples) {
 		t.Error("cancelled stream still yielded every tuple")
 	}
+}
+
+// TestPanicContainment: a panic while computing one tuple (here a nil
+// annotation) is recovered in the worker goroutine and surfaces as a
+// typed *PanicError for that tuple only — the other tuples still arrive,
+// no goroutine dies with the process, and none leak.
+func TestPanicContainment(t *testing.T) {
+	checkLeaks := testutil.CheckGoroutines(t)
+	db, rel := streamDB(t)
+	rel.Tuples = rel.Tuples[:5]
+	rel.Tuples = append(rel.Tuples, pvc.Tuple{Cells: []pvc.Cell{pvc.IntCell(200)}, Ann: nil})
+	for _, par := range []int{1, 4} {
+		ok, panics := 0, 0
+		for o, err := range engine.Stream(context.Background(), db, rel, engine.ExecConfig{Parallelism: par}) {
+			if err != nil {
+				if !engine.IsPanic(err) {
+					t.Errorf("parallelism %d: non-panic error %v", par, err)
+					continue
+				}
+				var pe *engine.PanicError
+				if !errors.As(err, &pe) || pe.Index != 5 || len(pe.Stack) == 0 {
+					t.Errorf("parallelism %d: PanicError = %+v, want index 5 with a stack", par, pe)
+				}
+				panics++
+				continue
+			}
+			ok++
+			_ = o
+		}
+		if ok != 5 || panics != 1 {
+			t.Errorf("parallelism %d: %d ok / %d panics, want 5/1", par, ok, panics)
+		}
+	}
+	// The barrier runner reports the panic in its joined error.
+	if _, err := engine.Outcomes(context.Background(), db, rel, engine.ExecConfig{Parallelism: 4}); err == nil {
+		t.Fatal("Outcomes: want error")
+	} else if !engine.IsPanic(err) || !strings.Contains(err.Error(), "panic computing tuple 5") {
+		t.Errorf("Outcomes error %q is not the contained panic", err)
+	}
+	checkLeaks()
 }
 
 // TestOutcomesSamplingDeterminism: the sampling strategy is reproducible

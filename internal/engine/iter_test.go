@@ -9,6 +9,7 @@ import (
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/expr"
 	"pvcagg/internal/pvc"
+	"pvcagg/internal/testutil"
 	"pvcagg/internal/value"
 )
 
@@ -313,8 +314,11 @@ func TestIterateEmptyInput(t *testing.T) {
 }
 
 // TestStreamEvalPlanCancelled: a cancelled context aborts both the
-// up-front check and mid-stream polling.
+// up-front check and mid-stream polling, without leaking the stream's
+// goroutines.
 func TestStreamEvalPlanCancelled(t *testing.T) {
+	checkLeaks := testutil.CheckGoroutines(t)
+	defer checkLeaks()
 	db := iterDB()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"flag"
+	"testing"
+	"time"
+
+	"pvcagg"
+	"pvcagg/internal/algebra"
+	"pvcagg/internal/benchx"
+	"pvcagg/internal/store"
+	"pvcagg/internal/testutil"
+)
+
+// The chaos soak: the full service stack — HTTP handler, admission
+// control, engine, disk-backed store — runs a mixed workload while the
+// PVC_FAULTFS knob injects transient faults into 1% of block reads. The
+// run must stay clean: the process survives (zero panics), no goroutine
+// leaks, and every response is a correct result, a sound degraded one,
+// or a typed rejection/timeout. CI's chaos job runs this with
+// -chaos-soak=30s; the default keeps `go test` fast locally.
+
+var chaosSoak = flag.Duration("chaos-soak", 2*time.Second, "wall-clock budget for the fault-injected service soak")
+
+// chaosStore materializes the Figure 1 shop database into an on-disk
+// store (fault-free), so the soak's scans go through the real block-read
+// path the injector faults.
+func chaosStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db := shopDB(0.5)
+	w, err := store.Create(dir, algebra.Boolean, db.Registry, store.Options{BlockCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.Names() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, err := w.CreateTable(name, rel.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tup := range rel.Tuples {
+			if err := tw.Append(tup.Ann, tup.Cells...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestChaosSoak(t *testing.T) {
+	checkLeaks := testutil.CheckGoroutines(t)
+	dir := chaosStore(t)
+
+	// Every file operation from here on runs under the hidden chaos knob:
+	// 1% of block reads fail transiently, from a fixed seed.
+	t.Setenv("PVC_FAULTFS", "read:p=0.01,transient,seed=7")
+	st, err := pvcagg.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(st.DB(), Config{
+		Workers:      2,
+		QueueDepth:   8,
+		MaxQueueWait: 100 * time.Millisecond,
+		DegradeAfter: 10 * time.Millisecond,
+		Retry:        &pvcagg.RetryPolicy{Budget: 256, AllowBoundedSkip: true},
+		Health:       st.Healthy,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), *chaosSoak)
+	defer cancel()
+	rep, err := benchx.RunWorkload(ctx, s.Handler(), benchx.WorkloadConfig{
+		Clients: 8,
+		Seed:    1,
+		Bodies:  mixedWorkloadBodies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos soak: %v", rep)
+
+	if rep.OK == 0 {
+		t.Fatal("no request succeeded under 1% read faults")
+	}
+	// Zero deaths: every injected fault was retried, soundly degraded, or
+	// surfaced as a typed error — never a panic.
+	if got := s.m.panics.Load(); got != 0 {
+		t.Errorf("%d panics during the soak, want 0", got)
+	}
+	// Bounded error rate: with transient faults at 1% and 4 attempts per
+	// read, a request should essentially never fail terminally. Allow 1%
+	// of the issued requests as slack before calling it a regression.
+	if limit := rep.Total/100 + 1; rep.Errors > limit {
+		t.Errorf("%d of %d requests failed terminally, want <= %d", rep.Errors, rep.Total, limit)
+	}
+	if got := rep.OK + rep.Rejected + rep.Timeouts + rep.Errors; got != rep.Total {
+		t.Errorf("outcome counts %d do not add up to %d issued requests", got, rep.Total)
+	}
+	checkLeaks()
+}

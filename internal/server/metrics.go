@@ -93,6 +93,7 @@ type metrics struct {
 	degraded atomic.Int64
 	timeouts atomic.Int64
 	errors   atomic.Int64
+	panics   atomic.Int64
 
 	queueWait *recorder
 	parse     *recorder

@@ -79,6 +79,17 @@ type Config struct {
 	// (0 ⇒ 1, sequential — the service gets its parallelism across
 	// queries, so per-query fan-out only helps an idle server).
 	Parallelism int
+	// MaxBodyBytes caps the request body read from a client (0 ⇒ 1 MiB);
+	// larger bodies fail the JSON decode with a 400.
+	MaxBodyBytes int64
+	// Retry, when non-nil, attaches this per-query retry budget for
+	// transient store read errors to every execution (see
+	// pvcagg.WithRetry). Bounded skips surface as degraded:true.
+	Retry *pvcagg.RetryPolicy
+	// Health, when non-nil, is the storage backend's sticky health probe
+	// (e.g. (*pvcagg.Store).Healthy): a non-nil result flips /readyz to
+	// 503 until the backend recovers.
+	Health func() error
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +117,9 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
@@ -121,12 +135,15 @@ type session struct {
 
 // Server is the query service. Create with New, expose via Handler.
 type Server struct {
-	cfg      Config
-	sess     atomic.Pointer[session]
-	slots    chan struct{}
-	waiting  atomic.Int64
-	inflight atomic.Int64
-	m        *metrics
+	cfg       Config
+	sess      atomic.Pointer[session]
+	slots     chan struct{}
+	waiting   atomic.Int64
+	inflight  atomic.Int64
+	m         *metrics
+	draining  atomic.Bool
+	startNano int64
+	reqSeq    atomic.Int64
 
 	// execGate, when set, runs while the request holds its worker slot,
 	// just before execution — the test hook that makes admission-control
@@ -137,11 +154,20 @@ type Server struct {
 
 // New returns a Server serving queries against db.
 func New(db *pvcagg.Database, cfg Config) *Server {
-	s := &Server{cfg: cfg.withDefaults(), m: newMetrics()}
+	s := &Server{cfg: cfg.withDefaults(), m: newMetrics(), startNano: time.Now().UnixNano()}
 	s.slots = make(chan struct{}, s.cfg.Workers)
 	s.sess.Store(s.newSession(db))
 	return s
 }
+
+// BeginDrain flips readiness off: /readyz answers 503 so load balancers
+// stop routing here, while /healthz (liveness) and in-flight queries —
+// and even new requests on already-open connections — keep working.
+// Call it before http.Server.Shutdown to drain gracefully.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) newSession(db *pvcagg.Database) *session {
 	sess := &session{db: db, plans: newPlanCache(s.cfg.PlanCacheSize)}
@@ -161,16 +187,66 @@ func (s *Server) Swap(db *pvcagg.Database) {
 	s.sess.Store(s.newSession(db))
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler: the endpoints wrapped in
+// the request-ID and panic-containment middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
+	// Liveness: the process is up and serving. Stays 200 through drain
+	// and backend trouble — restarting the process fixes neither.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	// Readiness: willing to take *new* traffic. 503 while draining or
+	// while the storage backend reports sticky failures.
+	mux.HandleFunc("/readyz", s.handleReady)
+	return s.withRequestID(s.withRecovery(mux))
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErrorCode(w, http.StatusServiceUnavailable, "draining", "draining: not accepting new traffic")
+		return
+	}
+	if s.cfg.Health != nil {
+		if err := s.cfg.Health(); err != nil {
+			writeErrorCode(w, http.StatusServiceUnavailable, "backend_unhealthy", err.Error())
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// withRequestID accepts the client's X-Request-ID (or mints one) and
+// echoes it on the response, so chaos-run failures are attributable in
+// logs and error bodies.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" || len(rid) > 128 {
+			rid = fmt.Sprintf("pvcd-%x-%d", s.startNano, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withRecovery converts a handler panic into a structured 500 carrying
+// the request ID, and counts it in /stats — one broken request must not
+// kill the process or the other in-flight queries.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Add(1)
+				writeErrorCode(w, http.StatusInternalServerError, "panic", fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // QueryRequest is the POST /query body.
@@ -215,17 +291,27 @@ type QueryResponse struct {
 	// Strategy is the engine's chosen-strategy rendering (e.g.
 	// "anytime(ε=0.05)").
 	Strategy string `json:"strategy"`
-	// Degraded reports that admission pressure demoted this request to
-	// anytime bounds at the degraded ε; rows may be unconverged but
-	// their [lo,hi] intervals are still guaranteed sound.
+	// Degraded reports a sound-bounds degradation: admission pressure
+	// demoted this request to anytime bounds at the degraded ε, or the
+	// retry budget ran out on blocks provably contributing nothing
+	// (all-zero annotation summaries) and they were skipped. Rows may be
+	// unconverged or missing only confidence-0 tuples; every reported
+	// [lo,hi] interval is still guaranteed sound.
 	Degraded bool `json:"degraded"`
 	// CachedPlan reports a prepared-statement cache hit.
-	CachedPlan bool    `json:"cached_plan"`
-	Timings    Timings `json:"timings"`
+	CachedPlan bool `json:"cached_plan"`
+	// RequestID echoes X-Request-ID (client-provided or generated).
+	RequestID string  `json:"request_id,omitempty"`
+	Timings   Timings `json:"timings"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code types the failure for programmatic clients: "panic",
+	// "partial_failure", "draining", "backend_unhealthy".
+	Code string `json:"code,omitempty"`
+	// RequestID echoes X-Request-ID, tying the failure to server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Stats is the GET /stats body.
@@ -236,7 +322,12 @@ type Stats struct {
 	Degraded int64 `json:"degraded"`
 	Timeouts int64 `json:"timeouts"`
 	Errors   int64 `json:"errors"`
+	// Panics counts contained panics: request handlers recovered by the
+	// middleware plus engine worker panics converted to typed errors.
+	Panics   int64 `json:"panics"`
 	InFlight int64 `json:"in_flight"`
+	// Draining reports that BeginDrain has flipped readiness off.
+	Draining bool `json:"draining"`
 
 	QueueWait LatencyStats `json:"queue_wait"`
 	Parse     LatencyStats `json:"parse"`
@@ -286,8 +377,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: "+err.Error())
 		return
 	}
 	if req.Query == "" {
@@ -370,15 +466,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.m.errors.Add(1)
-		writeError(w, http.StatusInternalServerError, err.Error())
+		switch {
+		case errors.Is(err, pvcagg.ErrStorePartial):
+			// Typed partial failure: part of the store stayed unreadable
+			// after retries and was not provably boundable — there is no
+			// sound answer to give, degraded or otherwise.
+			writeErrorCode(w, http.StatusServiceUnavailable, "partial_failure", err.Error())
+		case pvcagg.IsPanic(err):
+			s.m.panics.Add(1)
+			writeErrorCode(w, http.StatusInternalServerError, "panic", err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	s.m.ok.Add(1)
-	if degraded {
+	// resp.Degraded may already be set by a sound bounded-skip in the
+	// store layer; admission-pressure demotion is the second source.
+	resp.Degraded = resp.Degraded || degraded
+	if resp.Degraded {
 		s.m.degraded.Add(1)
 	}
-	resp.Degraded = degraded
 	resp.CachedPlan = cachedPlan
+	resp.RequestID = w.Header().Get("X-Request-ID")
 	resp.Timings = Timings{
 		QueueWaitUs: wait.Microseconds(),
 		ParseUs:     parseDur.Microseconds(),
@@ -414,6 +524,9 @@ func (s *Server) execOptions(req *QueryRequest, sess *session, degraded bool, ct
 	opts := []pvcagg.Option{pvcagg.WithParallelism(s.cfg.Parallelism)}
 	if sess.cache != nil {
 		opts = append(opts, pvcagg.WithCache(sess.cache))
+	}
+	if s.cfg.Retry != nil {
+		opts = append(opts, pvcagg.WithRetry(*s.cfg.Retry))
 	}
 	if req.Eps < 0 || req.Eps >= 1 {
 		return nil, fmt.Errorf("eps %v out of range [0, 1)", req.Eps)
@@ -478,7 +591,14 @@ func runQuery(ctx context.Context, db *pvcagg.Database, plan pvcagg.Plan, opts [
 	if err != nil {
 		return nil, err
 	}
-	resp := &QueryResponse{Strategy: res.Strategy.String(), Rows: make([]QueryRow, len(outs))}
+	resp := &QueryResponse{
+		Strategy: res.Strategy.String(),
+		Rows:     make([]QueryRow, len(outs)),
+		// Bounded skips are sound — the dropped blocks provably held only
+		// zero-annotated rows — but the client should know the answer
+		// omits confidence-0 tuples it might otherwise have listed.
+		Degraded: res.Report.Store.BoundedBlocks > 0,
+	}
 	for i, o := range outs {
 		row := QueryRow{
 			Cells:     make([]string, len(o.Tuple.Cells)),
@@ -506,7 +626,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Degraded:  s.m.degraded.Load(),
 		Timeouts:  s.m.timeouts.Load(),
 		Errors:    s.m.errors.Load(),
+		Panics:    s.m.panics.Load(),
 		InFlight:  s.inflight.Load(),
+		Draining:  s.draining.Load(),
 		QueueWait: s.m.queueWait.snapshot(),
 		Parse:     s.m.parse.snapshot(),
 		Exec:      s.m.exec.snapshot(),
@@ -529,5 +651,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+	writeErrorCode(w, status, "", msg)
+}
+
+// writeErrorCode renders a typed error body; the request ID was already
+// stamped on the response headers by the middleware.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code, RequestID: w.Header().Get("X-Request-ID")})
 }

@@ -8,13 +8,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"pvcagg"
+	"pvcagg/internal/testutil"
 )
 
 // The server suite drives the service over real HTTP (httptest.Server,
@@ -443,7 +443,7 @@ func TestServerConcurrency(t *testing.T) {
 		qCount: exactReference(t, db, qCount),
 		qHard:  exactReference(t, db, qHard),
 	}
-	before := runtime.NumGoroutine()
+	checkLeaks := testutil.CheckGoroutines(t)
 
 	const clients = 8
 	const requests = 12
@@ -524,13 +524,5 @@ func TestServerConcurrency(t *testing.T) {
 
 	srv.CloseClientConnections()
 	srv.Close()
-	// Leak check: allow the runtime a moment to retire handler goroutines.
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if now := runtime.NumGoroutine(); now > before {
-		buf := make([]byte, 1<<20)
-		t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:runtime.Stack(buf, true)])
-	}
+	checkLeaks()
 }

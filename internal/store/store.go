@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
 	"pvcagg/internal/algebra"
+	"pvcagg/internal/faultfs"
 	"pvcagg/internal/prob"
 	"pvcagg/internal/pvc"
 	"pvcagg/internal/vars"
@@ -69,6 +71,7 @@ type MetricsSnapshot struct {
 // if the directory is later replaced by a new ingest.
 type Store struct {
 	dir      string
+	fs       faultfs.FS
 	man      manifest
 	kind     algebra.SemiringKind
 	reg      *vars.Registry
@@ -76,13 +79,30 @@ type Store struct {
 	tables   map[string]*Table
 	order    []string
 	metrics  Metrics
+	health   storeHealth
 }
+
+// FaultFSEnv is the hidden chaos knob: when set, Open and Create route
+// every file operation through a faultfs injector configured by its
+// spec (see faultfs.FromEnv). Unset, the real filesystem is used with
+// no indirection cost beyond one interface call per file operation.
+const FaultFSEnv = "PVC_FAULTFS"
 
 // Open loads the manifest and variable registry of a store directory. A
 // directory without a committed manifest (e.g. after a crashed ingest)
 // is refused with a plain error; damaged files surface *CorruptError.
 func Open(dir string) (*Store, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	fsys, _, err := faultfs.FromEnv(FaultFSEnv)
+	if err != nil {
+		return nil, err
+	}
+	return OpenFS(dir, fsys)
+}
+
+// OpenFS is Open over an explicit filesystem — the seam fault-injection
+// tests use directly.
+func OpenFS(dir string, fsys faultfs.FS) (*Store, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: %s is not a store (no committed manifest): %w", dir, err)
 	}
@@ -97,7 +117,7 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, &CorruptError{File: manifestName, Block: -1, Reason: err.Error()}
 	}
-	st := &Store{dir: dir, man: man, kind: kind, tables: map[string]*Table{}}
+	st := &Store{dir: dir, fs: fsys, man: man, kind: kind, tables: map[string]*Table{}}
 	if err := st.loadVars(); err != nil {
 		return nil, err
 	}
@@ -141,7 +161,7 @@ func Open(dir string) (*Store, error) {
 // variable) into a fresh registry.
 func (st *Store) loadVars() error {
 	st.reg = vars.NewRegistry()
-	data, err := os.ReadFile(filepath.Join(st.dir, varsName))
+	data, err := st.fs.ReadFile(filepath.Join(st.dir, varsName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -244,6 +264,29 @@ func (st *Store) ResetMetrics() {
 	st.metrics.RowsRead.Store(0)
 }
 
+// storeHealth tracks consecutive terminal block-read failures, the
+// sticky signal a server's readiness probe watches.
+type storeHealth struct {
+	consecutive atomic.Int64
+}
+
+// stickyFailureThreshold is how many consecutive terminal read failures
+// mark the backend unhealthy.
+const stickyFailureThreshold = 3
+
+func (h *storeHealth) fail() { h.consecutive.Add(1) }
+func (h *storeHealth) ok()   { h.consecutive.Store(0) }
+
+// Healthy returns nil while the backend looks fine, or an error once
+// enough consecutive block reads have failed terminally (retries
+// exhausted, or corruption). The next successful read clears it.
+func (st *Store) Healthy() error {
+	if n := st.health.consecutive.Load(); n >= stickyFailureThreshold {
+		return fmt.Errorf("store: backend unhealthy: %d consecutive failed block reads", n)
+	}
+	return nil
+}
+
 // Table is one stored table: schema, block index with parsed zone maps,
 // and persisted statistics. It implements pvc.TableProvider and
 // pvc.StatsProvider.
@@ -297,22 +340,39 @@ func (t *Table) NewScan(ctx context.Context, opts pvc.ScanOptions) (pvc.TupleIte
 	for _, c := range cols {
 		need[c] = true
 	}
-	f, err := os.Open(filepath.Join(t.st.dir, t.meta.File))
+	retry := RetryFrom(ctx)
+	if retry == nil {
+		// Scans outside a query-level retry scope still retry transient
+		// blips, with a private per-scan budget.
+		retry = NewRetryState(DefaultRetryPolicy)
+	}
+	var f faultfs.File
+	err := retry.do(ctx, func() error {
+		var e error
+		f, e = t.st.fs.Open(filepath.Join(t.st.dir, t.meta.File))
+		return e
+	})
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", t.meta.Name, err)
 	}
 	return &scanIter{
-		ctx: ctx, t: t, f: f,
+		ctx: ctx, t: t, f: f, retry: retry,
 		cols: cols, need: need,
 		hints: opts.Hints, dropZero: opts.DropZero,
 	}, nil
 }
 
-// scanIter streams one table block by block.
+// scanIter streams one table block by block. Transient read errors are
+// retried under the scan's RetryState; a block still unreadable after
+// retries either degrades soundly (AllZero summary, bounded-skip
+// allowed) or terminates the scan with a *PartialError — in both cases
+// the underlying file is released eagerly rather than waiting for
+// Close.
 type scanIter struct {
 	ctx      context.Context
 	t        *Table
-	f        *os.File
+	f        faultfs.File
+	retry    *RetryState
 	cols     []int
 	need     []bool
 	hints    []pvc.ScanHint
@@ -348,6 +408,7 @@ func (it *scanIter) Next() (pvc.Tuple, bool, error) {
 			return t, true, nil
 		}
 		if err := it.ctx.Err(); err != nil {
+			it.release()
 			return pvc.Tuple{}, false, err
 		}
 		m := &it.t.st.metrics
@@ -357,12 +418,43 @@ func (it *scanIter) Next() (pvc.Tuple, bool, error) {
 			it.bi++
 		}
 		if it.bi >= len(it.t.meta.Blocks) {
-			return pvc.Tuple{}, false, nil
+			// Exhausted: release the file now rather than waiting for
+			// Close, surfacing any close error exactly once.
+			return pvc.Tuple{}, false, it.release()
 		}
-		batch, err := it.readBlock(it.bi)
+		var batch []pvc.Tuple
+		err := it.retry.do(it.ctx, func() error {
+			b, e := it.readBlock(it.bi)
+			if e == nil {
+				batch = b
+			}
+			return e
+		})
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				it.release()
+				return pvc.Tuple{}, false, err
+			}
+			if IsTransient(err) && it.retry.policy.AllowBoundedSkip && it.t.meta.Blocks[it.bi].AllZero {
+				// Sound degradation: the annotation summary proves every
+				// row in the block is annotated 0S, so dropping it can
+				// only omit result tuples whose confidence is exactly
+				// zero. Anything else unreadable is a partial failure.
+				it.retry.noteBounded()
+				m.BlocksSkipped.Add(1)
+				m.BytesSkipped.Add(int64(it.t.meta.Blocks[it.bi].Len))
+				it.bi++
+				continue
+			}
+			it.t.st.health.fail()
+			if IsTransient(err) {
+				err = &PartialError{Table: it.t.meta.Name, Block: it.bi, Err: err}
+			}
+			it.closed = true
+			it.release()
 			return pvc.Tuple{}, false, err
 		}
+		it.t.st.health.ok()
 		m.BlocksRead.Add(1)
 		m.BytesRead.Add(int64(it.t.meta.Blocks[it.bi].Len))
 		m.RowsRead.Add(int64(len(batch)))
@@ -378,9 +470,17 @@ func (it *scanIter) readBlock(bi int) ([]pvc.Tuple, error) {
 	corrupt := func(reason string) error {
 		return &CorruptError{File: it.t.meta.File, Block: bi, Reason: reason}
 	}
+	if it.f == nil {
+		return nil, ErrClosed
+	}
 	buf := make([]byte, bm.Len)
 	if _, err := it.f.ReadAt(buf, bm.Off); err != nil {
-		return nil, corrupt(fmt.Sprintf("read %d bytes at %d: %v", bm.Len, bm.Off, err))
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Truncation is damage, not a blip.
+			return nil, corrupt(fmt.Sprintf("read %d bytes at %d: %v", bm.Len, bm.Off, err))
+		}
+		// Preserve the chain so IsTransient can classify it.
+		return nil, fmt.Errorf("store: %s: block %d: read %d bytes at %d: %w", it.t.meta.File, bi, bm.Len, bm.Off, err)
 	}
 	if len(buf) < len(blockMagic)+4 || string(buf[:len(blockMagic)]) != blockMagic {
 		return nil, corrupt("bad magic")
@@ -467,11 +567,21 @@ func (it *scanIter) readBlock(bi int) ([]pvc.Tuple, error) {
 	return out, nil
 }
 
+// release closes the underlying file once; later calls are no-ops.
+func (it *scanIter) release() error {
+	if it.f == nil {
+		return nil
+	}
+	f := it.f
+	it.f = nil
+	return f.Close()
+}
+
 func (it *scanIter) Close() error {
 	if it.closed {
 		return nil
 	}
 	it.closed = true
 	it.batch = nil
-	return it.f.Close()
+	return it.release()
 }

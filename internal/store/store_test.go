@@ -12,6 +12,7 @@ import (
 	"pvcagg/internal/expr"
 	"pvcagg/internal/prob"
 	"pvcagg/internal/pvc"
+	"pvcagg/internal/testutil"
 	"pvcagg/internal/value"
 	"pvcagg/internal/vars"
 )
@@ -562,6 +563,8 @@ func TestAnnotationsAndVarsRoundTrip(t *testing.T) {
 // TestConcurrentScans exercises one Store from many goroutines (run
 // under -race in CI's storage job).
 func TestConcurrentScans(t *testing.T) {
+	checkLeaks := testutil.CheckGoroutines(t)
+	defer checkLeaks()
 	dir := writeFixture(t, 200, 16)
 	st, err := Open(dir)
 	if err != nil {

@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/expr"
+	"pvcagg/internal/faultfs"
 	"pvcagg/internal/pvc"
 	"pvcagg/internal/value"
 	"pvcagg/internal/vars"
@@ -71,6 +71,7 @@ type blockMeta struct {
 // open as a store.
 type Writer struct {
 	dir      string
+	fs       faultfs.FS
 	capacity int
 	kind     algebra.SemiringKind
 	s        algebra.Semiring
@@ -87,20 +88,31 @@ type Writer struct {
 // updatable in place). The registry is shared with the data producer so
 // variables declared during generation are captured at Close.
 func Create(dir string, kind algebra.SemiringKind, reg *vars.Registry, opts Options) (*Writer, error) {
+	fsys, _, err := faultfs.FromEnv(FaultFSEnv)
+	if err != nil {
+		return nil, err
+	}
+	return CreateFS(dir, fsys, kind, reg, opts)
+}
+
+// CreateFS is Create over an explicit filesystem — the seam the
+// crash-recovery harness drives to tear writes at arbitrary points.
+func CreateFS(dir string, fsys faultfs.FS, kind algebra.SemiringKind, reg *vars.Registry, opts Options) (*Writer, error) {
 	if opts.BlockCapacity <= 0 {
 		opts.BlockCapacity = DefaultBlockCapacity
 	}
 	if reg == nil {
 		reg = vars.NewRegistry()
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+	if _, err := fsys.Stat(filepath.Join(dir, manifestName)); err == nil {
 		return nil, fmt.Errorf("store: %s already contains a store", dir)
 	}
 	return &Writer{
 		dir:      dir,
+		fs:       fsys,
 		capacity: opts.BlockCapacity,
 		kind:     kind,
 		s:        algebra.SemiringFor(kind),
@@ -135,7 +147,7 @@ func (w *Writer) CreateTable(name string, schema pvc.Schema) (*TableWriter, erro
 	}
 	w.names[name] = true
 	file := fmt.Sprintf("t%04d.dat", len(w.tables))
-	f, err := os.Create(filepath.Join(w.dir, file))
+	f, err := w.fs.Create(filepath.Join(w.dir, file))
 	if err != nil {
 		return nil, fmt.Errorf("store: create table %s: %w", name, err)
 	}
@@ -157,7 +169,7 @@ func (w *Writer) CreateTable(name string, schema pvc.Schema) (*TableWriter, erro
 // in memory, so ingest streams.
 type TableWriter struct {
 	w      *Writer
-	f      *os.File
+	f      faultfs.File
 	meta   tableMeta
 	schema pvc.Schema
 	err    error
@@ -360,7 +372,7 @@ func (w *Writer) Close() error {
 	if err != nil {
 		return fmt.Errorf("store: encode manifest: %w", err)
 	}
-	return atomicWrite(filepath.Join(w.dir, manifestName), data)
+	return w.atomicWrite(filepath.Join(w.dir, manifestName), data)
 }
 
 // writeVars persists every referenced variable's distribution, in
@@ -387,15 +399,15 @@ func (w *Writer) writeVars() error {
 	}
 	crc := crc32.ChecksumIEEE(buf)
 	buf = append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
-	return atomicWrite(filepath.Join(w.dir, varsName), buf)
+	return w.atomicWrite(filepath.Join(w.dir, varsName), buf)
 }
 
-func atomicWrite(path string, data []byte) error {
+func (w *Writer) atomicWrite(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+	if err := w.fs.WriteFile(tmp, data, 0o666); err != nil {
 		return fmt.Errorf("store: write %s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := w.fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: commit %s: %w", path, err)
 	}
 	return nil

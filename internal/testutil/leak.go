@@ -1,0 +1,41 @@
+// Package testutil holds helpers shared across the test suites.
+package testutil
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a check to
+// run (usually defer) at the end of the test: it polls until the count
+// returns to the baseline or a short deadline passes, then fails the
+// test with a full stack dump if goroutines leaked. The poll absorbs
+// the runtime's lag retiring finished handler goroutines.
+func CheckGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if now := runtime.NumGoroutine(); now > before {
+			buf := make([]byte, 1<<20)
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:runtime.Stack(buf, true)])
+		}
+	}
+}
+
+// OpenFDs counts the process's open file descriptors via /proc/self/fd.
+// Skips the test on platforms without procfs.
+func OpenFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot count fds on this platform: %v", err)
+	}
+	return len(ents)
+}

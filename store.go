@@ -29,6 +29,26 @@ type StoreMetrics = store.MetricsSnapshot
 // manifests, checksum mismatches.
 var ErrStoreCorrupt = store.ErrCorrupt
 
+// ErrStorePartial matches (via errors.Is) a partial-failure error: part
+// of the store stayed unreadable after the query's retry budget was
+// spent and was not provably boundable, so no sound answer exists. See
+// WithRetry for the retry and bounded-skip semantics.
+var ErrStorePartial = store.ErrPartial
+
+// RetryPolicy bounds the retrying of transient store read errors; see
+// WithRetry. Zero fields take defaults.
+type RetryPolicy = store.RetryPolicy
+
+// RetryStats reports what a query's retry budget actually did; see
+// ExecReport.Store.
+type RetryStats = store.RetryStats
+
+// IsTransientStoreError classifies a store read error as a transient
+// blip worth retrying (fd pressure, interrupted syscalls, injected
+// transient faults) versus permanent damage — ErrStoreCorrupt is never
+// transient.
+func IsTransientStoreError(err error) bool { return store.IsTransient(err) }
+
 // OpenStore opens the disk-backed pvc-database in dir. The directory
 // must contain a committed manifest (import must have completed); a
 // missing manifest or damaged files yield descriptive errors, with
@@ -59,6 +79,12 @@ func (s *Store) Metrics() StoreMetrics { return s.st.Metrics() }
 
 // ResetMetrics zeroes the I/O counters.
 func (s *Store) ResetMetrics() { s.st.ResetMetrics() }
+
+// Healthy returns nil while the storage backend looks fine, or a
+// descriptive error once enough consecutive block reads have failed
+// terminally (sticky until the next successful read). A server's
+// readiness probe watches this.
+func (s *Store) Healthy() error { return s.st.Healthy() }
 
 // WithStore directs execution at a disk-backed database: Exec and
 // ExecQuery accept a nil *Database (or the store's own DB()) and run
