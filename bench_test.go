@@ -573,8 +573,26 @@ func execBenchCases(sf float64) ([]execBenchCase, error) {
 			}
 		}
 	}
+	// traced mirrors run with a fresh Trace per iteration — the overhead
+	// row for the <3% tracing budget (a shared trace would accumulate
+	// spans across iterations and measure slice growth, not tracing).
+	traced := func(opts ...pvcagg.Option) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pvcagg.Exec(context.Background(), db, plan,
+					append(opts[:len(opts):len(opts)], pvcagg.WithTrace(pvcagg.NewTrace()))...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Collect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	return []execBenchCase{
 		{"exact/seq", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))},
+		{"exact/seq+trace", traced(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1))},
 		{"exact/par", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(0))},
 		{"exact/stream", stream(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(0))},
 		{"exact/seq+cache", run(pvcagg.WithMode(pvcagg.Exact), pvcagg.WithParallelism(1), pvcagg.WithSharedCache(true))},

@@ -15,7 +15,15 @@
 //
 //	curl -s localhost:8080/query -d '{"query":"SELECT shop, COUNT(*) AS n FROM S GROUP BY shop"}'
 //	curl -s localhost:8080/query -d '{"query":"...","mode":"anytime","eps":0.05,"timeout_ms":500}'
+//	curl -s localhost:8080/query -d '{"query":"EXPLAIN ANALYZE SELECT ...","trace":true}'
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
+//
+// With -pprof-addr, the Go runtime profiles are served on a separate
+// listener (keep it off the public interface):
+//
+//	pvcd -pprof-addr localhost:6060 &
+//	go tool pprof localhost:6060/debug/pprof/profile?seconds=10
 //
 // The first SIGINT drains in-flight queries and exits; a second forces
 // exit immediately.
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,11 +65,13 @@ func main() {
 		storeDir     = flag.String("store", "", "serve a disk-backed database written by pvcimport instead of a -demo database")
 		drainTimeout = flag.Duration("drain-timeout", 20*time.Second, "SIGTERM drain deadline for in-flight queries")
 		retryBudget  = flag.Int("retry-budget", 256, "per-query retry budget for transient store read errors (negative disables retries)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off by default; bind to localhost)")
 	)
 	flag.Parse()
 
 	var db *pvcagg.Database
 	var health func() error
+	var storeMetrics func() pvcagg.StoreMetrics
 	served := *demo + " demo"
 	if *storeDir != "" {
 		st, err := pvcagg.OpenStore(*storeDir)
@@ -69,6 +80,7 @@ func main() {
 		}
 		db = st.DB()
 		health = st.Healthy
+		storeMetrics = st.Metrics
 		served = fmt.Sprintf("store %s (epoch %d)", *storeDir, st.Epoch())
 	} else {
 		var err error
@@ -87,6 +99,7 @@ func main() {
 		SharedCacheEntries: *cacheEntries,
 		Parallelism:        *parallel,
 		Health:             health,
+		StoreMetrics:       storeMetrics,
 	}
 	if *retryBudget >= 0 {
 		// Bounded skips are on for the service: a block that is unreadable
@@ -96,6 +109,25 @@ func main() {
 	}
 	srv := server.New(db, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so the query port can be
+		// exposed without also exposing heap dumps and CPU profiles. The
+		// handlers are registered explicitly — the service mux never
+		// inherits them via the DefaultServeMux side effect.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pvcd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("pvcd: pprof: %v", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -25,6 +25,14 @@
 //	pvcrun -store /data/tpch01 -query "SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag"
 //	pvcrun -store /data/tpch01 -repl
 //
+//	# observability: print the execution trace, or a per-operator
+//	# EXPLAIN / EXPLAIN ANALYZE plan tree
+//	pvcrun -demo shop -trace -query "SELECT shop, COUNT(*) AS n FROM S GROUP BY shop"
+//	pvcrun -demo shop -query "EXPLAIN ANALYZE SELECT shop, COUNT(*) AS n FROM S GROUP BY shop"
+//
+// Disk-backed queries additionally print the scan's I/O summary (blocks
+// read vs skipped) and, when retries engaged, the retry budget's work.
+//
 // The sample mode requires -seed: the engine has no ambient randomness,
 // so every estimate is reproducible from the logged seed. Ctrl-C cancels
 // the in-flight compilations cleanly. In the REPL, Ctrl-C is scoped to
@@ -63,6 +71,7 @@ func main() {
 		query    = flag.String("query", "", "run one PVQL query against the demo database and exit")
 		repl     = flag.Bool("repl", false, "interactive PVQL prompt over the demo database")
 		storeDir = flag.String("store", "", "open a disk-backed database written by pvcimport instead of a -demo database")
+		trace    = flag.Bool("trace", false, "record and print the execution trace (spans with wall time, allocations and stage counters)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -79,12 +88,17 @@ func main() {
 		os.Exit(2)
 	}
 	var db *pvcagg.Database
+	var st *pvcagg.Store
 	if *storeDir != "" {
-		st, err := pvcagg.OpenStore(*storeDir)
+		st, err = pvcagg.OpenStore(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
 		db = st.DB()
+		// Disk-backed runs get the default retry budget so transient read
+		// blips heal silently and the per-query summary can report what
+		// the retries actually did.
+		opts = append(opts, pvcagg.WithRetry(pvcagg.RetryPolicy{}))
 		if *query == "" && !*repl {
 			// No query to run: describe the store and point at -query/-repl.
 			fmt.Printf("store %s (epoch %d):\n", *storeDir, st.Epoch())
@@ -108,14 +122,14 @@ func main() {
 	}
 	switch {
 	case *query != "":
-		if err := runQuery(ctx, db, *query, opts, true); err != nil {
+		if err := runQuery(ctx, db, *query, opts, true, *trace, st); err != nil {
 			fatal(err)
 		}
 	case *repl:
 		// Release the process-wide handler: the REPL scopes SIGINT to the
 		// query it is running, so Ctrl-C must not cancel a shared context.
 		stop()
-		runREPL(db, opts)
+		runREPL(db, opts, *trace, st)
 	case *demo == "shop":
 		runShop(ctx, db, opts)
 	default:
@@ -162,9 +176,13 @@ func execOptions(mode, eval string, eps float64, parallel int, timeout time.Dura
 }
 
 // runQuery compiles and executes one PVQL query, printing the optimized
-// plan, its classification, the strategy and every answer.
-func runQuery(ctx context.Context, db *pvcagg.Database, src string, opts []pvcagg.Option, verbose bool) error {
-	plan, err := pvcagg.ParseQuery(db, src)
+// plan, its classification, the strategy and every answer. An EXPLAIN
+// prefix prints the estimated plan tree without executing; EXPLAIN
+// ANALYZE executes and prints estimates next to per-operator actuals.
+// With trace, the execution trace is printed after the summary; with a
+// store, so are the scan's I/O and retry counters.
+func runQuery(ctx context.Context, db *pvcagg.Database, src string, opts []pvcagg.Option, verbose, trace bool, st *pvcagg.Store) error {
+	plan, explain, err := pvcagg.ParseQueryExplain(db, src)
 	if err != nil {
 		var qe *pvcagg.QueryError
 		if errors.As(err, &qe) {
@@ -173,7 +191,26 @@ func runQuery(ctx context.Context, db *pvcagg.Database, src string, opts []pvcag
 		return err
 	}
 	fmt.Printf("   plan: %s\n", plan)
+	if explain == pvcagg.ExplainPlan {
+		fmt.Print(indent(pvcagg.Explain(db, plan).Render()))
+		return nil
+	}
 	fmt.Printf("   class: %v\n", pvcagg.Classify(plan, db))
+	// The three-index append keeps per-query options (a fresh trace, the
+	// analyze decorators) out of the caller's shared slice.
+	opts = opts[:len(opts):len(opts)]
+	if explain == pvcagg.ExplainAnalyze {
+		opts = append(opts, pvcagg.WithExplainAnalyze())
+	}
+	var tr *pvcagg.Trace
+	if trace {
+		tr = pvcagg.NewTrace()
+		opts = append(opts, pvcagg.WithTrace(tr))
+	}
+	var before pvcagg.StoreMetrics
+	if st != nil {
+		before = st.Metrics()
+	}
 	res, err := pvcagg.Exec(ctx, db, plan, opts...)
 	if err != nil {
 		return err
@@ -183,14 +220,38 @@ func runQuery(ctx context.Context, db *pvcagg.Database, src string, opts []pvcag
 		return err
 	}
 	fmt.Printf("   %d answer tuples; ⟦·⟧ %v, P(·) %v\n", res.Len(), res.Timing.Construct, res.Timing.Probability)
+	if res.Report.Explain != nil {
+		fmt.Print(indent(res.Report.Explain.Render()))
+	}
+	if st != nil {
+		m, r := st.Metrics(), res.Report.Store
+		fmt.Printf("   store: blocks read=%d skipped=%d, bytes read=%d skipped=%d, rows=%d\n",
+			m.BlocksRead-before.BlocksRead, m.BlocksSkipped-before.BlocksSkipped,
+			m.BytesRead-before.BytesRead, m.BytesSkipped-before.BytesSkipped,
+			m.RowsRead-before.RowsRead)
+		if r.Attempts > 0 || r.BoundedBlocks > 0 {
+			fmt.Printf("   retries: reads retried=%d retries spent=%d exhausted=%d bounded skips=%d\n",
+				r.Attempts, r.Retries, r.Exhausted, r.BoundedBlocks)
+		}
+	}
+	if tr != nil {
+		fmt.Print(indent(tr.Render()))
+	}
 	return nil
+}
+
+// indent shifts a multi-line rendering under the three-space summary
+// margin.
+func indent(s string) string {
+	s = strings.TrimRight(s, "\n")
+	return "   " + strings.ReplaceAll(s, "\n", "\n   ") + "\n"
 }
 
 // runREPL reads PVQL queries from stdin, one per line, until EOF or \q.
 // SIGINT is scoped per query: the first Ctrl-C cancels the in-flight
 // query (its partial results are printed) and the loop returns to the
 // prompt; a second Ctrl-C before the query winds down exits the shell.
-func runREPL(db *pvcagg.Database, opts []pvcagg.Option) {
+func runREPL(db *pvcagg.Database, opts []pvcagg.Option, trace bool, st *pvcagg.Store) {
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt)
 	defer signal.Stop(sigs)
@@ -235,7 +296,7 @@ func runREPL(db *pvcagg.Database, opts []pvcagg.Option) {
 			case <-done:
 			}
 		}()
-		err := runQuery(qctx, db, line, opts, true)
+		err := runQuery(qctx, db, line, opts, true, trace, st)
 		close(done)
 		cancel()
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"pvcagg/internal/core"
 	"pvcagg/internal/engine"
 	"pvcagg/internal/expr"
+	"pvcagg/internal/obs"
 	"pvcagg/internal/store"
 	"pvcagg/internal/tractable"
 	"pvcagg/internal/worlds"
@@ -171,6 +172,8 @@ type execConfig struct {
 	store      *Store
 	retry      RetryPolicy
 	retrySet   bool
+	trace      *obs.Trace
+	analyze    bool
 }
 
 // resolveDB reconciles the database argument with WithStore: a nil db
@@ -550,6 +553,12 @@ type ExecReport struct {
 	// soundly skipped via their all-zero annotation summaries. All zeros
 	// without WithRetry.
 	Store RetryStats
+	// Trace is the execution trace passed via WithTrace (the same
+	// pointer, for convenience); nil when tracing is off.
+	Trace *Trace
+	// Explain is the analyzed per-operator plan tree (WithExplainAnalyze
+	// or the PVQL `EXPLAIN ANALYZE` prefix); nil otherwise.
+	Explain *ExplainNode
 }
 
 // CacheStats is a snapshot of the cross-tuple cache counters; see
@@ -574,12 +583,14 @@ type Result struct {
 	// or the stream is consumed.
 	Report ExecReport
 
-	db     *Database
-	cfg    engine.ExecConfig
-	cache  *compile.SharedCache
-	retry  *store.RetryState
-	ctx    context.Context
-	cancel context.CancelFunc
+	db       *Database
+	cfg      engine.ExecConfig
+	cache    *compile.SharedCache
+	retry    *store.RetryState
+	ctx      context.Context
+	cancel   context.CancelFunc
+	execSpan *obs.Span // WithTrace: this execution's top-level span
+	probSpan *obs.Span // WithTrace: step II span, opened lazily
 
 	collected bool
 	streamed  bool
@@ -604,9 +615,41 @@ func (r *Result) finish() {
 	if r.retry != nil {
 		r.Report.Store = r.retry.Snapshot()
 	}
+	r.probSpan.End()
+	if r.execSpan != nil {
+		if r.retry != nil {
+			s := r.Report.Store
+			r.execSpan.SetAttr("store.retry_attempts", s.Attempts)
+			r.execSpan.SetAttr("store.retries", s.Retries)
+			r.execSpan.SetAttr("store.retries_exhausted", s.Exhausted)
+			r.execSpan.SetAttr("store.bounded_blocks", s.BoundedBlocks)
+		}
+		r.execSpan.End()
+		r.execSpan = nil
+	}
 	if r.cancel != nil {
 		r.cancel()
 		r.cancel = nil
+	}
+}
+
+// noteOutcome folds one tuple outcome's report counters into the
+// probability span. Sums over outcomes are order-independent, so the
+// recorded attributes are deterministic at every parallelism.
+func (r *Result) noteOutcome(o TupleOutcome) {
+	sp := r.probSpan
+	if sp == nil {
+		return
+	}
+	sp.Add("tuples", 1)
+	sp.Add("memo_hits", int64(o.Report.Exact.Compile.CacheHits))
+	sp.Add("shared_hits", int64(o.Report.Exact.Compile.SharedHits))
+	sp.Add("dtree_nodes", int64(o.Report.Exact.Compile.Nodes))
+	if o.Report.Approx != nil {
+		sp.Add("frontier_expansions", int64(o.Report.Approx.Expansions))
+	}
+	if o.Report.Samples > 0 {
+		sp.Add("samples", int64(o.Report.Samples))
 	}
 }
 
@@ -618,10 +661,14 @@ func (r *Result) Collect() ([]TupleOutcome, error) {
 		return nil, ErrConsumed
 	}
 	if !r.collected {
+		r.probSpan = r.execSpan.StartSpan("probability")
 		t0 := time.Now()
 		r.outcomes, r.err = engine.Outcomes(r.ctx, r.db, r.Rel, r.cfg)
 		r.Timing.Probability = time.Since(t0)
 		r.collected = true
+		for _, o := range r.outcomes {
+			r.noteOutcome(o)
+		}
 		r.finish()
 	}
 	return r.outcomes, r.err
@@ -652,8 +699,12 @@ func (r *Result) Results() iter.Seq2[TupleOutcome, error] {
 			return
 		}
 		r.streamed = true
+		r.probSpan = r.execSpan.StartSpan("probability")
 		t0 := time.Now()
 		for o, err := range engine.Stream(r.ctx, r.db, r.Rel, r.cfg) {
+			if err == nil {
+				r.noteOutcome(o)
+			}
 			if !yield(o, err) {
 				break
 			}
@@ -679,6 +730,9 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 	if db, err = cfg.resolveDB(db); err != nil {
 		return nil, err
 	}
+	// Nil-safe span plumbing: without WithTrace every span is nil and
+	// every span call below is a no-op — zero cost on the hot path.
+	execSpan := cfg.trace.StartSpan("exec")
 	chosen := cfg.mode
 	var verdict *Verdict
 	if cfg.mode == Auto {
@@ -691,6 +745,7 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 		}
 	}
 	strat, ecfg, cache := cfg.build(chosen, verdict)
+	execSpan.SetAttr("parallelism", int64(ecfg.Parallelism))
 	var cancel context.CancelFunc
 	if cfg.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
@@ -700,17 +755,36 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 		retry = store.NewRetryState(cfg.retry)
 		ctx = store.ContextWithRetry(ctx, retry)
 	}
-	evalFn := engine.StreamEvalPlan
-	if cfg.evalPath == MaterializedEval {
-		evalFn = engine.EvalPlan
+	evalSpan := execSpan.StartSpan("eval")
+	evalCtx := ctx
+	if evalSpan != nil {
+		// Store scans attribute their block counters to the eval span.
+		evalCtx = obs.ContextWithSpan(ctx, evalSpan)
 	}
-	rel, construct, err := evalFn(ctx, db, plan)
+	var rel *Relation
+	var construct time.Duration
+	var explain *engine.ExplainNode
+	if cfg.analyze {
+		if cfg.evalPath == MaterializedEval {
+			rel, construct, explain, err = engine.EvalPlanExplain(evalCtx, db, plan)
+		} else {
+			rel, construct, explain, err = engine.StreamEvalPlanExplain(evalCtx, db, plan)
+		}
+	} else if cfg.evalPath == MaterializedEval {
+		rel, construct, err = engine.EvalPlan(evalCtx, db, plan)
+	} else {
+		rel, construct, err = engine.StreamEvalPlan(evalCtx, db, plan)
+	}
 	if err != nil {
+		evalSpan.End()
+		execSpan.End()
 		if cancel != nil {
 			cancel()
 		}
 		return nil, err
 	}
+	evalSpan.SetAttr("rows", int64(rel.Len()))
+	evalSpan.End()
 	res := &Result{
 		Rel:      rel,
 		Strategy: strat,
@@ -721,7 +795,10 @@ func Exec(ctx context.Context, db *Database, plan Plan, opts ...Option) (*Result
 		retry:    retry,
 		ctx:      ctx,
 		cancel:   cancel,
+		execSpan: execSpan,
 	}
+	res.Report.Trace = cfg.trace
+	res.Report.Explain = explain
 	if retry != nil {
 		// Scans happen in step I, which is already done; surface the
 		// retry counters even if the Result is never consumed.
@@ -751,7 +828,7 @@ func ExecTable(ctx context.Context, db *Database, rel *Relation, opts ...Option)
 	if cfg.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 	}
-	return &Result{
+	res := &Result{
 		Rel:      rel,
 		Strategy: strat,
 		db:       db,
@@ -759,7 +836,10 @@ func ExecTable(ctx context.Context, db *Database, rel *Relation, opts ...Option)
 		cache:    cache,
 		ctx:      ctx,
 		cancel:   cancel,
-	}, nil
+		execSpan: cfg.trace.StartSpan("exec"),
+	}
+	res.Report.Trace = cfg.trace
+	return res, nil
 }
 
 // ExprResult is the probabilistic interpretation of one bare expression.

@@ -61,6 +61,12 @@ type iterBuilder struct {
 	db  *pvc.Database
 	s   algebra.Semiring
 	est *Estimator
+
+	// analyze wraps every operator iterator in a counting decorator and
+	// collects the EXPLAIN ANALYZE tree; exKids accumulates the explain
+	// nodes of the children of the node currently being built.
+	analyze bool
+	exKids  []*ExplainNode
 }
 
 func newIterBuilder(ctx context.Context, db *pvc.Database) *iterBuilder {
@@ -75,8 +81,44 @@ func (b *iterBuilder) estimator() *Estimator {
 }
 
 // build returns the iterator together with the output schema and the
-// relation name the materializing path would produce.
+// relation name the materializing path would produce. In analyze mode
+// it additionally wraps the iterator in a counting decorator and
+// threads an ExplainNode per operator: children built during buildNode
+// land in b.exKids and are collected here. A σ fused into a ⋈/×
+// produces one node covering both (its children are the pair's
+// inputs), mirroring the single physical operator that runs.
 func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
+	if !b.analyze {
+		return b.buildNode(p)
+	}
+	parentKids := b.exKids
+	b.exKids = nil
+	it, schema, name, err := b.buildNode(p)
+	kids := b.exKids
+	b.exKids = parentKids
+	if err != nil {
+		return nil, nil, "", err
+	}
+	node := &ExplainNode{Op: opName(p), Name: name, EstRows: b.estimator().Estimate(p).Rows, Children: kids}
+	switch v := it.(type) {
+	case *pairIter:
+		v.ex = node
+		node.EstBuildRows = v.estBuild
+		node.FusedAtoms = len(v.fused)
+	case *selectIter:
+		if pi, ok := v.child.(*pairIter); ok {
+			pi.ex = node
+			node.EstBuildRows = pi.estBuild
+			node.FusedAtoms = len(pi.fused)
+		}
+	}
+	b.exKids = append(b.exKids, node)
+	return &countingIter{in: it, n: node}, schema, name, nil
+}
+
+// buildNode compiles one plan node (and, recursively via b.build, its
+// inputs).
+func (b *iterBuilder) buildNode(p Plan) (Iterator, pvc.Schema, string, error) {
 	switch n := p.(type) {
 	case *Scan:
 		if p, ok := b.db.Provider(n.Table); ok {
@@ -123,7 +165,7 @@ func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
 		// atom evaluation cannot error and cannot rescale annotations, so
 		// a block whose rows all fail a hint (or are all annotated 0S)
 		// contributes nothing to σ's output.
-		if pit, ok := child.(*providerIter); ok && allAtomsHintable(atoms, cs) {
+		if pit, ok := unwrapCounting(child).(*providerIter); ok && allAtomsHintable(atoms, cs) {
 			pit.pushDown(atoms)
 		}
 		return &selectIter{child: child, atoms: atoms, s: b.s}, cs, fmt.Sprintf("σ(%s)", cname), nil
@@ -165,9 +207,12 @@ func (b *iterBuilder) build(p Plan) (Iterator, pvc.Schema, string, error) {
 			schema[i] = cs[j]
 		}
 		// π̂ directly over a provider scan folds into the scan itself:
-		// the storage layer then decodes only the live columns.
-		if pit, ok := child.(*providerIter); ok {
-			return pit.project(idx), schema, fmt.Sprintf("π̂(%s)", cname), nil
+		// the storage layer then decodes only the live columns. The fold
+		// mutates the provider iterator in place, so any analyze
+		// decorator around it stays valid.
+		if pit, ok := unwrapCounting(child).(*providerIter); ok {
+			pit.project(idx)
+			return child, schema, fmt.Sprintf("π̂(%s)", cname), nil
 		}
 		return &pruneIter{child: child, idx: idx}, schema, fmt.Sprintf("π̂(%s)", cname), nil
 
@@ -325,7 +370,8 @@ func (b *iterBuilder) buildPair(p Plan) (*pairIter, pvc.Schema, string, []pairRe
 	}
 	// Pre-size the build side from the Estimator's cardinality estimate.
 	buildCap := 0
-	if rows := b.estimator().Estimate(rp).Rows; rows > 0 {
+	estBuild := b.estimator().Estimate(rp).Rows
+	if rows := estBuild; rows > 0 {
 		if rows > 1<<20 {
 			rows = 1 << 20
 		}
@@ -337,7 +383,7 @@ func (b *iterBuilder) buildPair(p Plan) (*pairIter, pvc.Schema, string, []pairRe
 	}
 	it := &pairIter{
 		ctx: b.ctx, s: b.s, left: lIt, right: rIt,
-		lKey: lKey, rKey: rKey, rCols: rCols, buildCap: buildCap,
+		lKey: lKey, rKey: rKey, rCols: rCols, buildCap: buildCap, estBuild: estBuild,
 	}
 	return it, schema, name, refs, nil
 }
@@ -573,6 +619,8 @@ type pairIter struct {
 	fused       []pairAtom
 	dropZero    bool
 	buildCap    int
+	estBuild    float64      // Estimator's build-side row prediction
+	ex          *ExplainNode // analyze-mode counters; nil otherwise
 
 	built       bool
 	rightClosed bool
@@ -594,6 +642,7 @@ func (it *pairIter) buildTable() error {
 		// ×: everything lands in one bucket — pre-size it.
 		it.idx[""] = make([]pvc.Tuple, 0, it.buildCap)
 	}
+	rows := 0
 	for n := 0; ; n++ {
 		rt, ok, err := it.right.Next()
 		if err != nil {
@@ -604,11 +653,15 @@ func (it *pairIter) buildTable() error {
 		}
 		k := joinKey(rt, it.rKey)
 		it.idx[k] = append(it.idx[k], rt)
+		rows++
 		if n&ctxPollMask == ctxPollMask {
 			if err := it.ctx.Err(); err != nil {
 				return err
 			}
 		}
+	}
+	if it.ex != nil {
+		it.ex.BuildRows = int64(rows)
 	}
 	it.rightClosed = true
 	return it.right.Close()
@@ -640,6 +693,9 @@ func (it *pairIter) Next() (pvc.Tuple, bool, error) {
 				}
 			}
 			if !pass {
+				if it.ex != nil {
+					it.ex.FusedRejects++
+				}
 				continue
 			}
 			ann := expr.Simplify(expr.Product(lt.Ann, rt.Ann), it.s)

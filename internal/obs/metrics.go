@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments and renders them in Prometheus
+// text exposition format (version 0.0.4). Instrument registration is
+// idempotent by full series name: asking twice for the same counter
+// returns the same instrument, so independent subsystems can publish
+// without coordinating. Registration panics on a kind conflict — that
+// is a programming error, not an operational condition.
+//
+// Series names may carry a label suffix (`name{k="v"}`); the base name
+// (before '{') groups series under one # HELP / # TYPE header.
+type Registry struct {
+	mu   sync.Mutex
+	inst map[string]*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{inst: map[string]*instrument{}} }
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type instrument struct {
+	name string // full series name, possibly with labels
+	base string // name before any '{'
+	help string
+	kind kind
+
+	v  atomic.Int64 // counter / gauge
+	fn func() int64 // Func variants; read at scrape time
+	h  *Histogram   // histogram state
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ i *instrument }
+
+// Add increases the counter; negative deltas are ignored to keep the
+// series monotone.
+func (c *Counter) Add(delta int64) {
+	if c == nil || c.i == nil || delta <= 0 {
+		return
+	}
+	c.i.v.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil || c.i == nil {
+		return 0
+	}
+	return c.i.v.Load()
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ i *instrument }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil || g.i == nil {
+		return
+	}
+	g.i.v.Store(v)
+}
+
+// Add adjusts the gauge value.
+func (g *Gauge) Add(delta int64) {
+	if g == nil || g.i == nil {
+		return
+	}
+	g.i.v.Add(delta)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil || g.i == nil {
+		return 0
+	}
+	return g.i.v.Load()
+}
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// matching the Prometheus client defaults.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a cumulative-bucket latency/size distribution with a
+// lifetime sum and count.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []int64
+	sum     float64
+	count   int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the lifetime sample count.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the lifetime sample sum.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (r *Registry) register(name, help string, k kind) *instrument {
+	base := name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+	}
+	if !validMetricName(base) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.inst[name]; ok {
+		if in.kind != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, k, in.kind))
+		}
+		return in
+	}
+	in := &instrument{name: name, base: base, help: help, kind: k}
+	r.inst[name] = in
+	return in
+}
+
+// Counter registers (or returns) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{i: r.register(name, help, kindCounter)}
+}
+
+// Gauge registers (or returns) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{i: r.register(name, help, kindGauge)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time — the bridge for subsystems that already keep their own
+// atomics (admission metrics, cache stats, store I/O totals).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	in := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	in := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers (or returns) the named histogram with the given
+// bucket upper bounds (DefBuckets when nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	in := r.register(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		in.h = &Histogram{bounds: append([]float64(nil), bounds...), buckets: make([]int64, len(bounds))}
+	}
+	return in.h
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every registered instrument in text
+// exposition format, series sorted by name, one HELP/TYPE header per
+// base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	insts := make([]*instrument, 0, len(r.inst))
+	for _, in := range r.inst {
+		insts = append(insts, in)
+	}
+	r.mu.Unlock()
+	sort.Slice(insts, func(i, j int) bool { return insts[i].name < insts[j].name })
+
+	var b strings.Builder
+	seenHeader := map[string]bool{}
+	for _, in := range insts {
+		if !seenHeader[in.base] {
+			seenHeader[in.base] = true
+			if in.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", in.base, in.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", in.base, in.kind)
+		}
+		switch in.kind {
+		case kindHistogram:
+			writeHistogram(&b, in)
+		default:
+			v := in.v.Load()
+			if in.fn != nil {
+				v = in.fn()
+			}
+			fmt.Fprintf(&b, "%s %d\n", in.name, v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, in *instrument) {
+	h := in.h
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	bounds := h.bounds
+	buckets := append([]int64(nil), h.buckets...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	var cum int64
+	for i, bound := range bounds {
+		cum += buckets[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", in.name, formatBound(bound), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", in.name, count)
+	fmt.Fprintf(b, "%s_sum %s\n", in.name, strconv.FormatFloat(sum, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count %d\n", in.name, count)
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

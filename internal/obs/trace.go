@@ -1,0 +1,287 @@
+// Package obs is the dependency-free observability layer: execution
+// traces (nested spans with wall time, allocation deltas and integer
+// attributes), a process-wide metrics registry with Prometheus text
+// exposition, and the context plumbing that threads both through the
+// execution stages without any cost when they are disabled.
+//
+// Every type is nil-safe: methods on a nil *Trace or nil *Span are
+// no-ops, so instrumented code stays linear — it asks the context for
+// the current span once and calls methods unconditionally. A query
+// executed without WithTrace never allocates a span, never reads the
+// clock and never touches a mutex.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Trace collects the spans of one query execution. It is carried by
+// value through option structs and by pointer through contexts; all
+// methods are safe for concurrent use (step-II probability workers may
+// touch sibling spans concurrently) and safe on a nil receiver.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace returns an empty trace ready to be passed to an execution.
+func NewTrace() *Trace { return &Trace{} }
+
+// Span is one timed stage of an execution: a name, wall-clock
+// duration, heap-allocation delta, integer attributes (counters the
+// stage accumulated) and child spans. Durations and allocation deltas
+// are captured at End; attributes accumulate via Add/SetAttr.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	allocAt  uint64
+	dur      time.Duration
+	alloc    uint64
+	done     bool
+	attrs    map[string]int64
+	children []*Span
+}
+
+// allocSample reads cumulative heap-allocated bytes via the cheap
+// runtime/metrics path (no stop-the-world, unlike ReadMemStats).
+func allocSample() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// StartSpan opens a new top-level span on the trace. Returns nil (a
+// no-op span) when the trace is nil.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now(), allocAt: allocSample(), attrs: map[string]int64{}}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a child span. Returns nil when the receiver is nil.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now(), allocAt: allocSample(), attrs: map[string]int64{}}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End stamps the span's wall time and allocation delta. Idempotent;
+// no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.dur = time.Since(s.start)
+		if a := allocSample(); a >= s.allocAt {
+			s.alloc = a - s.allocAt
+		}
+	}
+	s.tr.mu.Unlock()
+}
+
+// Add accumulates delta into the named attribute. No-op on nil.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs[key] += delta
+	s.tr.mu.Unlock()
+}
+
+// SetAttr sets the named attribute. No-op on nil.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs[key] = v
+	s.tr.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the wall time stamped by End (0 on nil or before
+// End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.dur
+}
+
+// Attr returns the named attribute's value (0 when absent or nil).
+func (s *Span) Attr(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.attrs[key]
+}
+
+// SpanView is the immutable JSON shape of one span.
+type SpanView struct {
+	Name       string           `json:"name"`
+	DurationUS int64            `json:"duration_us"`
+	AllocBytes uint64           `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []SpanView       `json:"children,omitempty"`
+}
+
+func (s *Span) viewLocked() SpanView {
+	v := SpanView{Name: s.name, DurationUS: s.dur.Microseconds(), AllocBytes: s.alloc}
+	if len(s.attrs) > 0 {
+		v.Attrs = make(map[string]int64, len(s.attrs))
+		for k, a := range s.attrs {
+			v.Attrs[k] = a
+		}
+	}
+	for _, c := range s.children {
+		v.Children = append(v.Children, c.viewLocked())
+	}
+	return v
+}
+
+// Spans returns a deep snapshot of the trace's span tree; safe to read
+// without further locking. Nil traces return nil.
+func (t *Trace) Spans() []SpanView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanView, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, s.viewLocked())
+	}
+	return out
+}
+
+// MarshalJSON renders the trace as {"spans": [...]}.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Spans []SpanView `json:"spans"`
+	}{t.Spans()})
+}
+
+// Render returns an indented text rendering of the span tree for CLI
+// output: one line per span with duration, allocation delta and
+// attributes (keys sorted).
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	var b []byte
+	for _, v := range t.Spans() {
+		b = renderSpan(b, v, 0)
+	}
+	return string(b)
+}
+
+func renderSpan(b []byte, v SpanView, depth int) []byte {
+	for range depth {
+		b = append(b, "  "...)
+	}
+	b = append(b, v.Name...)
+	b = append(b, ' ')
+	b = append(b, time.Duration(v.DurationUS*int64(time.Microsecond)).String()...)
+	if v.AllocBytes > 0 {
+		b = appendKV(b, " alloc", int64(v.AllocBytes))
+		b = append(b, 'B')
+	}
+	for _, k := range sortedKeys(v.Attrs) {
+		b = appendKV(b, " "+k, v.Attrs[k])
+	}
+	b = append(b, '\n')
+	for _, c := range v.Children {
+		b = renderSpan(b, c, depth+1)
+	}
+	return b
+}
+
+func appendKV(b []byte, k string, v int64) []byte {
+	b = append(b, k...)
+	b = append(b, '=')
+	return appendInt(b, v)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// spanKey carries the current span through contexts, mirroring the
+// store's retry-state carriage: unexported key type, value is the
+// *Span itself.
+type spanKey struct{}
+
+// ContextWithSpan attaches the span as the context's current span so
+// downstream stages (store scans) can attribute their counters to it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's current span, or nil (a no-op span).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

@@ -6,9 +6,28 @@ import "pvcagg/internal/value"
 // carries byte offsets into the source text so the binder can report
 // semantic errors at the exact span.
 
+// ExplainMode says whether the query text carried an EXPLAIN prefix
+// and, if so, which variant.
+type ExplainMode int
+
+const (
+	// ExplainNone is an ordinary query.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan asks for the optimized plan with cardinality
+	// estimates, without executing (EXPLAIN ...).
+	ExplainPlan
+	// ExplainAnalyze asks to execute and report per-operator actual
+	// row counts next to the estimates (EXPLAIN ANALYZE ...).
+	ExplainAnalyze
+)
+
 // Query is a UNION chain of selects (left-associative).
 type Query struct {
 	Selects []*SelectStmt // len >= 1
+	// Explain records an EXPLAIN / EXPLAIN ANALYZE statement prefix.
+	// The prefix only changes how the caller reports the plan; the
+	// query itself parses, binds and optimizes identically.
+	Explain ExplainMode
 }
 
 // Span returns the byte range covered by the query.

@@ -11,10 +11,29 @@ var aggFns = map[string]bool{
 
 // Parse parses one PVQL query. Errors are always *Error values carrying
 // the byte offset of the offending token.
+//
+// A query may be prefixed with EXPLAIN or EXPLAIN ANALYZE; the prefix
+// is recorded on the returned Query. EXPLAIN and ANALYZE are not
+// reserved words — a query proper must begin with SELECT, so a leading
+// identifier spelled "explain" (any case) is unambiguous and table or
+// column names may still use either word.
 func Parse(src string) (*Query, error) {
 	p := &parser{lex: &lexer{in: src}}
 	if err := p.next(); err != nil {
 		return nil, err
+	}
+	explain := ExplainNone
+	if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "EXPLAIN") {
+		explain = ExplainPlan
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "ANALYZE") {
+			explain = ExplainAnalyze
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	q, err := p.parseQuery()
 	if err != nil {
@@ -23,6 +42,7 @@ func Parse(src string) (*Query, error) {
 	if p.tok.kind != tokEOF {
 		return nil, errf(p.tok.pos, p.tok.end, "unexpected trailing input %q", p.tok.text)
 	}
+	q.Explain = explain
 	return q, nil
 }
 

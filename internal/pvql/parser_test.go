@@ -52,6 +52,35 @@ func TestParseShapes(t *testing.T) {
 	}
 }
 
+func TestParseExplainPrefix(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want ExplainMode
+	}{
+		{"SELECT * FROM R", ExplainNone},
+		{"EXPLAIN SELECT * FROM R", ExplainPlan},
+		{"explain select * from r", ExplainPlan},
+		{"EXPLAIN ANALYZE SELECT * FROM R", ExplainAnalyze},
+		{"Explain Analyze SELECT a FROM R UNION SELECT a FROM T", ExplainAnalyze},
+		// EXPLAIN / ANALYZE stay usable as identifiers in the query body.
+		{"SELECT explain FROM analyze", ExplainNone},
+		{"EXPLAIN SELECT analyze FROM explain", ExplainPlan},
+	} {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if q.Explain != tc.want {
+			t.Errorf("Parse(%q).Explain = %d, want %d", tc.src, q.Explain, tc.want)
+		}
+	}
+	// A bare prefix is still an error (the query proper is missing).
+	if _, err := Parse("EXPLAIN ANALYZE"); err == nil {
+		t.Error("Parse(\"EXPLAIN ANALYZE\") succeeded, want error")
+	}
+}
+
 func TestParseErrorsArePositioned(t *testing.T) {
 	cases := []struct {
 		src  string

@@ -18,12 +18,14 @@ import (
 const windowSize = 4096
 
 // recorder is a fixed-size ring of duration samples with percentile
-// snapshots. Safe for concurrent use.
+// snapshots, plus a lifetime sum so /stats can report totals next to
+// the windowed percentiles. Safe for concurrent use.
 type recorder struct {
 	mu    sync.Mutex
 	buf   []time.Duration
 	pos   int
 	count int64
+	sum   time.Duration
 }
 
 func newRecorder() *recorder { return &recorder{buf: make([]time.Duration, windowSize)} }
@@ -33,40 +35,58 @@ func (r *recorder) add(d time.Duration) {
 	r.buf[r.pos] = d
 	r.pos = (r.pos + 1) % len(r.buf)
 	r.count++
+	r.sum += d
 	r.mu.Unlock()
 }
 
 // LatencyStats is a percentile snapshot of one request phase, in
 // microseconds (the natural unit between sub-millisecond parses and
-// multi-second degraded executions).
+// multi-second degraded executions). Count and TotalUs are lifetime;
+// the percentiles cover the sliding window.
 type LatencyStats struct {
-	Count int64 `json:"count"`
-	P50Us int64 `json:"p50_us"`
-	P95Us int64 `json:"p95_us"`
-	P99Us int64 `json:"p99_us"`
+	Count   int64 `json:"count"`
+	TotalUs int64 `json:"total_us"`
+	P50Us   int64 `json:"p50_us"`
+	P95Us   int64 `json:"p95_us"`
+	P99Us   int64 `json:"p99_us"`
+}
+
+// snapshotBufs pools sort scratch across snapshot calls: /stats is
+// polled, and allocating + growing a windowSize slice per recorder per
+// poll is avoidable garbage.
+var snapshotBufs = sync.Pool{
+	New: func() any {
+		b := make([]time.Duration, 0, windowSize)
+		return &b
+	},
 }
 
 // snapshot computes p50/p95/p99 over the current window.
 func (r *recorder) snapshot() LatencyStats {
+	bp := snapshotBufs.Get().(*[]time.Duration)
 	r.mu.Lock()
 	n := int(min64(r.count, int64(len(r.buf))))
-	samples := make([]time.Duration, n)
-	copy(samples, r.buf[:n])
+	samples := append((*bp)[:0], r.buf[:n]...)
 	count := r.count
+	sum := r.sum
 	r.mu.Unlock()
-	st := LatencyStats{Count: count}
-	if n == 0 {
-		return st
+	st := LatencyStats{Count: count, TotalUs: sum.Microseconds()}
+	if n > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		st.P50Us = percentile(samples, 50).Microseconds()
+		st.P95Us = percentile(samples, 95).Microseconds()
+		st.P99Us = percentile(samples, 99).Microseconds()
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	st.P50Us = percentile(samples, 50).Microseconds()
-	st.P95Us = percentile(samples, 95).Microseconds()
-	st.P99Us = percentile(samples, 99).Microseconds()
+	*bp = samples[:0]
+	snapshotBufs.Put(bp)
 	return st
 }
 
-// percentile reads the p-th percentile off a sorted sample set (nearest
-// rank).
+// percentile reads the p-th percentile off a sorted sample set, nearest
+// rank: index ceil(len*p/100), 1-based, clamped to the first sample —
+// so p50 of [a b] is a, and any percentile of a single sample is that
+// sample. Percentiles never interpolate; they always return an observed
+// value.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0

@@ -24,17 +24,25 @@ import (
 // per-hit bookkeeping on the hot path.
 type planCache struct {
 	mu           sync.RWMutex
-	m            map[string]pvcagg.Plan
+	m            map[string]planEntry
 	max          int
 	hits, misses atomic.Int64
 }
 
+// planEntry caches the optimized plan together with the query text's
+// EXPLAIN mode — the prefix is part of the text and therefore of the
+// cache key, so it must be part of the value too.
+type planEntry struct {
+	plan    pvcagg.Plan
+	explain pvcagg.ExplainMode
+}
+
 func newPlanCache(max int) *planCache {
-	return &planCache{m: make(map[string]pvcagg.Plan, max), max: max}
+	return &planCache{m: make(map[string]planEntry, max), max: max}
 }
 
 // get returns the cached optimized plan for the query text, if any.
-func (c *planCache) get(query string) (pvcagg.Plan, bool) {
+func (c *planCache) get(query string) (planEntry, bool) {
 	c.mu.RLock()
 	p, ok := c.m[query]
 	c.mu.RUnlock()
@@ -47,7 +55,7 @@ func (c *planCache) get(query string) (pvcagg.Plan, bool) {
 }
 
 // put stores an optimized plan, evicting an arbitrary entry when full.
-func (c *planCache) put(query string, p pvcagg.Plan) {
+func (c *planCache) put(query string, e planEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[query]; ok {
@@ -59,7 +67,7 @@ func (c *planCache) put(query string, p pvcagg.Plan) {
 			break
 		}
 	}
-	c.m[query] = p
+	c.m[query] = e
 }
 
 // PlanCacheStats is the point-in-time plan-cache picture on /stats.

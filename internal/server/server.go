@@ -30,9 +30,13 @@
 // queries keep the coherent old session, new requests see the new
 // database with cold caches, and no cache entry ever crosses databases.
 //
-// Endpoints: POST /query (QueryRequest in, QueryResponse out),
-// GET /stats (Stats: admission counters, phase latency percentiles,
-// cache hit rates), GET /healthz.
+// Endpoints: POST /query (QueryRequest in, QueryResponse out; EXPLAIN
+// and EXPLAIN ANALYZE query prefixes return the plan tree in the
+// response's explain field, and "trace": true returns the execution
+// trace), GET /stats (Stats: admission counters, phase latency
+// percentiles and lifetime totals, cache hit rates), GET /metrics
+// (Prometheus text exposition), GET /healthz (liveness plus build
+// info), GET /readyz.
 package server
 
 import (
@@ -42,6 +46,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -90,6 +95,10 @@ type Config struct {
 	// (e.g. (*pvcagg.Store).Healthy): a non-nil result flips /readyz to
 	// 503 until the backend recovers.
 	Health func() error
+	// StoreMetrics, when non-nil, exposes the storage backend's
+	// cumulative I/O counters (e.g. (*pvcagg.Store).Metrics) as
+	// pvcd_store_* series on /metrics.
+	StoreMetrics func() pvcagg.StoreMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +150,7 @@ type Server struct {
 	waiting   atomic.Int64
 	inflight  atomic.Int64
 	m         *metrics
+	prom      *promMetrics
 	draining  atomic.Bool
 	startNano int64
 	reqSeq    atomic.Int64
@@ -157,6 +167,7 @@ func New(db *pvcagg.Database, cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), m: newMetrics(), startNano: time.Now().UnixNano()}
 	s.slots = make(chan struct{}, s.cfg.Workers)
 	s.sess.Store(s.newSession(db))
+	s.initProm()
 	return s
 }
 
@@ -193,16 +204,45 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	// Liveness: the process is up and serving. Stays 200 through drain
 	// and backend trouble — restarting the process fixes neither.
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	// Readiness: willing to take *new* traffic. 503 while draining or
 	// while the storage backend reports sticky failures.
 	mux.HandleFunc("/readyz", s.handleReady)
 	return s.withRequestID(s.withRecovery(mux))
+}
+
+// buildInfo is the GET /healthz body: liveness plus enough build
+// identity to tell which binary answered — module path and version from
+// the build metadata, the Go toolchain it was compiled with, and the
+// effective GOMAXPROCS (the default worker budget).
+type buildInfo struct {
+	Status     string `json:"status"`
+	Module     string `json:"module"`
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	bi := buildInfo{
+		Status:     "ok",
+		Module:     "pvcagg",
+		Version:    "(devel)",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Path != "" {
+			bi.Module = info.Main.Path
+		}
+		if info.Main.Version != "" {
+			bi.Version = info.Main.Version
+		}
+	}
+	writeJSON(w, http.StatusOK, bi)
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -265,6 +305,9 @@ type QueryRequest struct {
 	Seed *int64 `json:"seed,omitempty"`
 	// Samples is the Monte Carlo sample count (mode "sample").
 	Samples int `json:"samples,omitempty"`
+	// Trace asks for the execution trace (span tree with wall time,
+	// allocation deltas and stage counters) in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryRow is one answer tuple: its cells rendered as strings, its
@@ -303,6 +346,13 @@ type QueryResponse struct {
 	// RequestID echoes X-Request-ID (client-provided or generated).
 	RequestID string  `json:"request_id,omitempty"`
 	Timings   Timings `json:"timings"`
+	// Explain is the plan tree for EXPLAIN-prefixed queries: estimates
+	// only under EXPLAIN (rows is empty, nothing executed), estimates
+	// next to per-operator actuals under EXPLAIN ANALYZE.
+	Explain *pvcagg.ExplainNode `json:"explain,omitempty"`
+	// Trace is the execution trace's span tree, present when the
+	// request set "trace": true.
+	Trace []pvcagg.SpanView `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -406,6 +456,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	wait, release, err := s.admit(ctx)
 	s.m.queueWait.add(wait)
+	s.prom.queueWait.Observe(wait.Seconds())
 	if err != nil {
 		if errors.Is(err, errSaturated) {
 			s.m.rejected.Add(1)
@@ -434,9 +485,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	sess := s.sess.Load()
 	parse0 := time.Now()
-	plan, cachedPlan, err := s.lookupPlan(sess, req.Query)
+	entry, cachedPlan, err := s.lookupPlan(sess, req.Query)
 	parseDur := time.Since(parse0)
 	s.m.parse.add(parseDur)
+	s.prom.parse.Observe(parseDur.Seconds())
 	if err != nil {
 		s.m.errors.Add(1)
 		msg := err.Error()
@@ -447,18 +499,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, msg)
 		return
 	}
+	if entry.explain == pvcagg.ExplainPlan {
+		// EXPLAIN without ANALYZE: report the optimized plan with
+		// cardinality estimates and execute nothing — the worker slot is
+		// released without an exec phase.
+		totalDur := time.Since(total0)
+		s.m.total.add(totalDur)
+		s.prom.total.Observe(totalDur.Seconds())
+		s.m.ok.Add(1)
+		writeJSON(w, http.StatusOK, &QueryResponse{
+			Rows:       []QueryRow{},
+			Strategy:   "explain",
+			Explain:    pvcagg.Explain(sess.db, entry.plan),
+			CachedPlan: cachedPlan,
+			RequestID:  w.Header().Get("X-Request-ID"),
+			Timings:    Timings{QueueWaitUs: wait.Microseconds(), ParseUs: parseDur.Microseconds()},
+		})
+		return
+	}
 	opts, err := s.execOptions(&req, sess, degraded, ctx)
 	if err != nil {
 		s.m.errors.Add(1)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if entry.explain == pvcagg.ExplainAnalyze {
+		opts = append(opts, pvcagg.WithExplainAnalyze())
+	}
+	if req.Trace {
+		opts = append(opts, pvcagg.WithTrace(pvcagg.NewTrace()))
+	}
 
 	exec0 := time.Now()
-	resp, err := runQuery(ctx, sess.db, plan, opts)
+	resp, err := s.runQuery(ctx, sess.db, entry.plan, opts)
 	execDur := time.Since(exec0)
+	totalDur := time.Since(total0)
 	s.m.exec.add(execDur)
-	s.m.total.add(time.Since(total0))
+	s.prom.exec.Observe(execDur.Seconds())
+	s.m.total.add(totalDur)
+	s.prom.total.Observe(totalDur.Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
 			s.m.timeouts.Add(1)
@@ -504,18 +583,20 @@ func degradable(mode string) bool {
 	return mode == "" || mode == "auto" || mode == "anytime"
 }
 
-// lookupPlan serves the optimized plan from the session's
-// prepared-statement cache, compiling and caching on miss.
-func (s *Server) lookupPlan(sess *session, query string) (pvcagg.Plan, bool, error) {
-	if p, ok := sess.plans.get(query); ok {
-		return p, true, nil
+// lookupPlan serves the optimized plan (and the query text's EXPLAIN
+// mode) from the session's prepared-statement cache, compiling and
+// caching on miss.
+func (s *Server) lookupPlan(sess *session, query string) (planEntry, bool, error) {
+	if e, ok := sess.plans.get(query); ok {
+		return e, true, nil
 	}
-	p, err := pvcagg.ParseQuery(sess.db, query)
+	plan, mode, err := pvcagg.ParseQueryExplain(sess.db, query)
 	if err != nil {
-		return nil, false, err
+		return planEntry{}, false, err
 	}
-	sess.plans.put(query, p)
-	return p, false, nil
+	e := planEntry{plan: plan, explain: mode}
+	sess.plans.put(query, e)
+	return e, false, nil
 }
 
 // execOptions translates the request (and any degradation) into engine
@@ -582,7 +663,7 @@ func (s *Server) execOptions(req *QueryRequest, sess *session, degraded bool, ct
 }
 
 // runQuery executes the plan and renders the answer tuples.
-func runQuery(ctx context.Context, db *pvcagg.Database, plan pvcagg.Plan, opts []pvcagg.Option) (*QueryResponse, error) {
+func (s *Server) runQuery(ctx context.Context, db *pvcagg.Database, plan pvcagg.Plan, opts []pvcagg.Option) (*QueryResponse, error) {
 	res, err := pvcagg.Exec(ctx, db, plan, opts...)
 	if err != nil {
 		return nil, err
@@ -591,9 +672,14 @@ func runQuery(ctx context.Context, db *pvcagg.Database, plan pvcagg.Plan, opts [
 	if err != nil {
 		return nil, err
 	}
+	s.prom.rows.Add(int64(len(outs)))
+	s.prom.retries.Add(res.Report.Store.Retries)
+	s.prom.boundedBlocks.Add(res.Report.Store.BoundedBlocks)
 	resp := &QueryResponse{
 		Strategy: res.Strategy.String(),
 		Rows:     make([]QueryRow, len(outs)),
+		Explain:  res.Report.Explain,
+		Trace:    res.Report.Trace.Spans(),
 		// Bounded skips are sound — the dropped blocks provably held only
 		// zero-annotated rows — but the client should know the answer
 		// omits confidence-0 tuples it might otherwise have listed.

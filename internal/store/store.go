@@ -14,6 +14,7 @@ import (
 
 	"pvcagg/internal/algebra"
 	"pvcagg/internal/faultfs"
+	"pvcagg/internal/obs"
 	"pvcagg/internal/prob"
 	"pvcagg/internal/pvc"
 	"pvcagg/internal/vars"
@@ -356,7 +357,7 @@ func (t *Table) NewScan(ctx context.Context, opts pvc.ScanOptions) (pvc.TupleIte
 		return nil, fmt.Errorf("store: %s: %w", t.meta.Name, err)
 	}
 	return &scanIter{
-		ctx: ctx, t: t, f: f, retry: retry,
+		ctx: ctx, t: t, f: f, retry: retry, span: obs.SpanFrom(ctx),
 		cols: cols, need: need,
 		hints: opts.Hints, dropZero: opts.DropZero,
 	}, nil
@@ -373,6 +374,7 @@ type scanIter struct {
 	t        *Table
 	f        faultfs.File
 	retry    *RetryState
+	span     *obs.Span // per-query trace counters; nil (no-op) untraced
 	cols     []int
 	need     []bool
 	hints    []pvc.ScanHint
@@ -415,6 +417,8 @@ func (it *scanIter) Next() (pvc.Tuple, bool, error) {
 		for it.bi < len(it.t.meta.Blocks) && it.skip(it.bi) {
 			m.BlocksSkipped.Add(1)
 			m.BytesSkipped.Add(int64(it.t.meta.Blocks[it.bi].Len))
+			it.span.Add("store.blocks_skipped", 1)
+			it.span.Add("store.bytes_skipped", int64(it.t.meta.Blocks[it.bi].Len))
 			it.bi++
 		}
 		if it.bi >= len(it.t.meta.Blocks) {
@@ -443,6 +447,8 @@ func (it *scanIter) Next() (pvc.Tuple, bool, error) {
 				it.retry.noteBounded()
 				m.BlocksSkipped.Add(1)
 				m.BytesSkipped.Add(int64(it.t.meta.Blocks[it.bi].Len))
+				it.span.Add("store.blocks_skipped", 1)
+				it.span.Add("store.bounded_blocks", 1)
 				it.bi++
 				continue
 			}
@@ -458,6 +464,9 @@ func (it *scanIter) Next() (pvc.Tuple, bool, error) {
 		m.BlocksRead.Add(1)
 		m.BytesRead.Add(int64(it.t.meta.Blocks[it.bi].Len))
 		m.RowsRead.Add(int64(len(batch)))
+		it.span.Add("store.blocks_read", 1)
+		it.span.Add("store.bytes_read", int64(it.t.meta.Blocks[it.bi].Len))
+		it.span.Add("store.rows_read", int64(len(batch)))
 		it.bi++
 		it.batch, it.ri = batch, 0
 	}

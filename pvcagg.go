@@ -158,6 +158,18 @@
 //
 // The README's "Performance" section describes the design; BENCH_exec.json
 // records the measured trajectory across PRs.
+//
+// # Observability
+//
+// Every stage is instrumented, at zero cost when unused: WithTrace
+// records a span tree (parse → bind → optimize → exec{eval,
+// probability}) with wall time, allocation deltas and stage counters;
+// WithExplainAnalyze — or a PVQL `EXPLAIN [ANALYZE]` prefix — returns
+// the plan tree with estimated vs. actual per-operator row counts in
+// ExecReport.Explain; and the internal/server service exports
+// Prometheus metrics on /metrics with opt-in pprof. The README's
+// "Observability" section has the trace anatomy, the metric series, an
+// EXPLAIN ANALYZE walkthrough, and how to attach a profiler to pvcd.
 package pvcagg
 
 import (

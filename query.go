@@ -48,6 +48,23 @@ func parseQueryNaive(db *Database, query string) (Plan, error) {
 	return bind.Bind(db, q)
 }
 
+// ParseQueryExplain is ParseQuery plus the query's EXPLAIN mode: the
+// plan is the optimized plan of the query proper (the prefix never
+// changes planning), and the mode says whether the caller asked for
+// `EXPLAIN` (plan + estimates, no execution) or `EXPLAIN ANALYZE`
+// (execute, report actuals next to estimates).
+func ParseQueryExplain(db *Database, query string) (Plan, ExplainMode, error) {
+	q, err := pvql.Parse(query)
+	if err != nil {
+		return nil, ExplainNone, err
+	}
+	naive, err := bind.Bind(db, q)
+	if err != nil {
+		return nil, ExplainNone, err
+	}
+	return opt.Optimize(naive, db), q.Explain, nil
+}
+
 // ExecQuery is Exec over PVQL text: it parses, binds and optimizes the
 // query, then executes the plan under the configured strategy — all Exec
 // options (modes, ε, parallelism, budgets, seeds, the shared cache)
@@ -55,6 +72,12 @@ func parseQueryNaive(db *Database, query string) (Plan, error) {
 //
 //	res, err := pvcagg.ExecQuery(ctx, db, "SELECT a, COUNT(*) AS n FROM R GROUP BY a")
 //	outs, err := res.Collect()
+//
+// A query prefixed `EXPLAIN` returns a Result with zero tuples whose
+// Report.Explain holds the estimated plan tree (nothing executes); an
+// `EXPLAIN ANALYZE` prefix executes normally and additionally fills
+// Report.Explain with per-operator actual row counts. With WithTrace,
+// the frontend stages record parse/bind/optimize spans.
 func ExecQuery(ctx context.Context, db *Database, query string, opts ...Option) (*Result, error) {
 	// WithStore resolves before the parse: binding needs the store's
 	// table schemas. Exec re-resolves the same way (idempotent).
@@ -65,9 +88,30 @@ func ExecQuery(ctx context.Context, db *Database, query string, opts ...Option) 
 	if db, err = cfg.resolveDB(db); err != nil {
 		return nil, err
 	}
-	plan, err := ParseQuery(db, query)
+	tr := cfg.trace
+	sp := tr.StartSpan("parse")
+	q, err := pvql.Parse(query)
+	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	sp = tr.StartSpan("bind")
+	naive, err := bind.Bind(db, q)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.StartSpan("optimize")
+	plan := opt.Optimize(naive, db)
+	sp.End()
+	switch q.Explain {
+	case ExplainPlan:
+		res := &Result{Rel: NewRelation("explain", nil), collected: true}
+		res.Report.Explain = Explain(db, plan)
+		res.Report.Trace = tr
+		return res, nil
+	case ExplainAnalyze:
+		opts = append(opts[:len(opts):len(opts)], WithExplainAnalyze())
 	}
 	return Exec(ctx, db, plan, opts...)
 }
